@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the figure/experiment pipelines (Fig. 1/Fig. 2
+//! composition and the E1–E7 building blocks), at reduced sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ei_hw::gpu::{rtx4090, GpuSim};
+use ei_hw::nic::{datacenter_nic, NicSim};
+use ei_sched::cluster::{mixed_pods, place, Cluster, Policy};
+use ei_sched::eas::{run_schedule, Predictor, SchedConfig, TaskSpec};
+use ei_sched::fuzz::{default_campaign, plan};
+use ei_service::{request_stream, MlWebService};
+
+fn bench_fig1_service(c: &mut Criterion) {
+    c.bench_function("fig1_service_200_requests", |b| {
+        b.iter(|| {
+            let mut svc = MlWebService::new(
+                GpuSim::new(rtx4090()),
+                NicSim::new(datacenter_nic()),
+                256,
+                4096,
+            )
+            .unwrap();
+            for req in request_stream(200, 50, 0.6, 16384, 0.25, 1) {
+                svc.handle(req, ei_core::units::TimeSpan::millis(5.0));
+            }
+            svc.mean_request_energy()
+        })
+    });
+}
+
+fn bench_fig2_compose(c: &mut Criterion) {
+    c.bench_function("fig2_stack_compose", |b| {
+        b.iter(|| ei_bench::fig2::build_stack(&rtx4090()).compose().unwrap())
+    });
+}
+
+fn bench_eas(c: &mut Criterion) {
+    let task = TaskSpec::bimodal("t", 30.0, 1.0, 4, 4, 400);
+    let cfg = SchedConfig::default();
+    c.bench_function("eas_schedule_400_quanta", |b| {
+        b.iter(|| run_schedule(&task, Predictor::EnergyInterface, &cfg))
+    });
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let cluster = Cluster::new(4, 4);
+    let pods = mixed_pods(12);
+    c.bench_function("cluster_place_24_pods", |b| {
+        b.iter(|| place(&cluster, &pods, Policy::EnergyInterface))
+    });
+}
+
+fn bench_fuzz_plan(c: &mut Criterion) {
+    let campaign = default_campaign();
+    c.bench_function("fuzz_plan_32_machines", |b| {
+        b.iter(|| plan(&campaign, 0.95, 32))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_service,
+        bench_fig2_compose,
+        bench_eas,
+        bench_cluster,
+        bench_fuzz_plan
+);
+criterion_main!(benches);

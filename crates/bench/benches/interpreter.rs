@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the EIL machinery itself: evaluation,
+//! Monte Carlo, exact enumeration, parsing, and worst-case analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ei_core::analysis::worst_case::worst_case;
+use ei_core::interp::{enumerate_exact, evaluate_energy, monte_carlo, EvalConfig};
+use ei_core::interface::InputSpec;
+use ei_core::parser::parse;
+use ei_core::units::Calibration;
+use ei_core::value::Value;
+
+const SVC: &str = r#"
+    interface svc {
+        ecv request_hit: bernoulli(0.25);
+        ecv local_hit: bernoulli(0.8);
+        fn handle(n) {
+            if ecv(request_hit) {
+                if ecv(local_hit) { return 5 mJ * n; } else { return 100 mJ * n; }
+            } else {
+                let acc = 0 J;
+                for i in 0..16 { acc = acc + 3 mJ; }
+                return acc + 1 mJ * n;
+            }
+        }
+    }
+"#;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_interface", |b| {
+        b.iter(|| parse(std::hint::black_box(SVC)).unwrap())
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let iface = parse(SVC).unwrap();
+    let env = iface.ecv_env();
+    let cfg = EvalConfig::default();
+    c.bench_function("evaluate_once", |b| {
+        b.iter(|| {
+            evaluate_energy(&iface, "handle", &[Value::Num(64.0)], &env, 7, &cfg).unwrap()
+        })
+    });
+
+    let mut group = c.benchmark_group("monte_carlo");
+    for n in [128usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                monte_carlo(&iface, "handle", &[Value::Num(64.0)], &env, n, 7, &cfg)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("enumerate_exact", |b| {
+        b.iter(|| {
+            enumerate_exact(&iface, "handle", &[Value::Num(64.0)], &env, 64, &cfg).unwrap()
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let iface = parse(SVC).unwrap();
+    let spec = InputSpec::new().range("n", 0.0, 1024.0);
+    c.bench_function("worst_case_analysis", |b| {
+        b.iter(|| worst_case(&iface, "handle", &spec, &Calibration::empty()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_eval, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark for the Table 1 pipeline: prediction (interface
+//! execution) and ground truth (simulated generation), at a reduced size so
+//! the benchmark stays fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ei_bench::table1::{fitted_gpt2_interface, predict};
+use ei_hw::gpu::{rtx4090, GpuSim};
+use ei_llm::{gpt2_small, Gpt2Engine};
+
+fn bench_predict(c: &mut Criterion) {
+    let (linked, _) = fitted_gpt2_interface(&rtx4090());
+    c.bench_function("table1_predict_gen25", |b| {
+        b.iter(|| predict(&linked, 8, 25))
+    });
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    c.bench_function("table1_ground_truth_gen25", |b| {
+        b.iter(|| {
+            let mut engine =
+                Gpt2Engine::new(gpt2_small(), GpuSim::new(rtx4090())).unwrap();
+            engine.generate(8, 25)
+        })
+    });
+}
+
+fn bench_microbench_campaign(c: &mut Criterion) {
+    c.bench_function("microbench_fit_campaign", |b| {
+        b.iter(|| {
+            ei_extract::microbench::fit_gpu_model(
+                &rtx4090(),
+                ei_hw::meter::MeterConfig::ideal(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_predict, bench_ground_truth, bench_microbench_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! A1: ablation of the Table 1 error mechanisms (clock droop, KV spill).
+fn main() {
+    let rows = ei_bench::ablation::run();
+    println!("{}", ei_bench::ablation::render(&rows));
+}

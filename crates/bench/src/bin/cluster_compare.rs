@@ -1,0 +1,5 @@
+//! E2: cluster placement by CPU requests vs energy interfaces.
+fn main() {
+    let rows = ei_bench::experiments::run_cluster();
+    println!("{}", ei_bench::experiments::render_cluster(&rows));
+}

@@ -1,0 +1,5 @@
+//! E7: leaf-error propagation through interface composition (§6).
+fn main() {
+    let rows = ei_bench::experiments::run_composition();
+    println!("{}", ei_bench::experiments::render_composition(&rows));
+}

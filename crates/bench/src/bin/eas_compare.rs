@@ -1,0 +1,5 @@
+//! E1: big.LITTLE scheduling with proxy vs interface predictions.
+fn main() {
+    let rows = ei_bench::experiments::run_eas();
+    println!("{}", ei_bench::experiments::render_eas(&rows));
+}

@@ -1,0 +1,5 @@
+//! E6: energy-bug detection by prediction/measurement divergence (§4.2).
+fn main() {
+    let report = ei_bench::experiments::run_bughunt();
+    println!("{}", ei_bench::experiments::render_bughunt(&report));
+}

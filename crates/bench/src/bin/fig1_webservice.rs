@@ -1,0 +1,8 @@
+//! Regenerates Fig. 1 (the ML web-service interface) and validates it.
+fn main() {
+    let report = ei_bench::fig1::run();
+    println!("{}", ei_bench::fig1::render(&report));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 2 (layered stack composition, hardware swap).
+fn main() {
+    let rows = ei_bench::fig2::run();
+    println!("{}", ei_bench::fig2::render(&rows));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+    }
+}

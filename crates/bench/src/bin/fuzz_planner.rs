@@ -1,0 +1,5 @@
+//! E3: ClusterFuzz capacity planning from the fleet interface.
+fn main() {
+    let report = ei_bench::experiments::run_fuzz();
+    println!("{}", ei_bench::experiments::render_fuzz(&report));
+}

@@ -1,0 +1,5 @@
+//! E4: marginal energy of consolidating onto a busy core (§2).
+fn main() {
+    let rows = ei_bench::experiments::run_marginal();
+    println!("{}", ei_bench::experiments::render_marginal(&rows));
+}

@@ -1,0 +1,5 @@
+//! E5: constant-energy verification of crypto kernels (§4.1).
+fn main() {
+    let report = ei_bench::experiments::run_sidechannel();
+    println!("{}", ei_bench::experiments::render_sidechannel(&report));
+}

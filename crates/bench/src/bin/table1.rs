@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (GPT-2 energy-prediction error on two GPUs).
+fn main() {
+    let rows = ei_bench::table1::run();
+    println!("{}", ei_bench::table1::render(&rows));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+    }
+}

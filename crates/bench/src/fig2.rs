@@ -1,0 +1,168 @@
+//! Fig. 2 reproduction: the layered system stack with resource managers
+//! composing energy interfaces bottom-up, demonstrating the two advantages
+//! §3 claims for layering:
+//!
+//! 1. swapping the hardware layer re-derives the end-to-end interface with
+//!    no change to the software stack;
+//! 2. the same application exposes interfaces at different granularities.
+
+use ei_core::ecv::EcvEnv;
+use ei_core::interp::{evaluate_energy, EvalConfig};
+use ei_core::parser::parse;
+use ei_core::stack::{Layer, Resource, Stack};
+use ei_core::value::Value;
+use ei_hw::gpu::{rtx3070, rtx4090, GpuConfig};
+use ei_hw::interfaces::{cpu_interface, gpu_interface, nic_interface};
+use ei_hw::nic::datacenter_nic;
+use serde::Serialize;
+
+/// Result of composing the stack on one machine.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineRow {
+    /// Machine (bottom-layer GPU) name.
+    pub machine: String,
+    /// End-to-end energy of one inference request (J).
+    pub e_request: f64,
+    /// Coarse-granularity view: the same request expressed per phase
+    /// (`(phase, joules)`), §3's granularity tailoring.
+    pub phases: Vec<(String, f64)>,
+}
+
+/// The Fig. 2 stack: hardware → runtime → application layers.
+///
+/// Only the bottom layer differs between machines; the upper layers are
+/// byte-identical EIL.
+pub fn build_stack(gpu: &GpuConfig) -> Stack {
+    let (big, _) = ei_hw::cpu::big_little();
+    let hardware = Layer::new("hardware")
+        .resource(Resource::new("gpu", gpu_interface(gpu)).with_doc("GPU accelerator"))
+        .resource(Resource::new("cpu", cpu_interface(&big)).with_doc("host CPU"))
+        .resource(
+            Resource::new("nic", nic_interface("dc", &datacenter_nic()))
+                .with_doc("datacenter NIC"),
+        );
+
+    // Runtime layer: a Python-like runtime that schedules kernels and adds
+    // its own dispatch overhead per call.
+    let runtime_iface = parse(
+        r#"
+        interface runtime "ML runtime: kernel dispatch over the GPU" {
+            extern fn gpu_kernel(flops, logical_bytes, l2_sectors, vram_sectors);
+            extern fn cpu_run_big(work, opp);
+            fn run_op(flops, bytes) "dispatch one operator" {
+                let dispatch = cpu_run_big(0.05, 1);
+                return dispatch + gpu_kernel(flops, bytes, ceil(bytes / 32), ceil(bytes / 32));
+            }
+        }
+        "#,
+    )
+    .expect("runtime interface parses");
+    let runtime = Layer::new("runtime").resource(Resource::new("runtime", runtime_iface));
+
+    // Application layer: an inference service over the runtime and NIC.
+    let app_iface = parse(
+        r#"
+        interface inference_app "application: one inference request" {
+            extern fn run_op(flops, bytes);
+            extern fn nic_transfer(bytes, awake);
+            fn phase_receive(req_bytes) { return nic_transfer(req_bytes, 1); }
+            fn phase_compute(flops, bytes) { return run_op(flops, bytes); }
+            fn phase_respond(resp_bytes) { return nic_transfer(resp_bytes, 1); }
+            fn e_request(req_bytes, flops, bytes, resp_bytes) {
+                return phase_receive(req_bytes)
+                     + phase_compute(flops, bytes)
+                     + phase_respond(resp_bytes);
+            }
+        }
+        "#,
+    )
+    .expect("app interface parses");
+    let app = Layer::new("application").resource(Resource::new("app", app_iface));
+
+    Stack::new().layer(hardware).layer(runtime).layer(app)
+}
+
+/// Composes the stack for one machine and evaluates the request.
+pub fn run_machine(gpu: &GpuConfig) -> MachineRow {
+    let stack = build_stack(gpu);
+    let composed = stack.compose().expect("stack composes");
+    let app = composed.export("app").expect("app exported");
+    assert!(app.is_closed(), "end-to-end interface must be closed");
+
+    let cfg = EvalConfig::default();
+    let env = EcvEnv::new();
+    let args = [
+        Value::Num(4096.0),            // request bytes
+        Value::Num(2e9),               // flops
+        Value::Num(64.0 * 1024.0 * 1024.0), // bytes touched
+        Value::Num(16384.0),           // response bytes
+    ];
+    let e_request = evaluate_energy(app, "e_request", &args, &env, 0, &cfg)
+        .expect("request evaluates")
+        .as_joules();
+
+    // Granularity tailoring: evaluate the per-phase functions of the same
+    // composed interface.
+    let phases = vec![
+        (
+            "receive".to_string(),
+            evaluate_energy(app, "phase_receive", &[args[0].clone()], &env, 0, &cfg)
+                .unwrap()
+                .as_joules(),
+        ),
+        (
+            "compute".to_string(),
+            evaluate_energy(
+                app,
+                "phase_compute",
+                &[args[1].clone(), args[2].clone()],
+                &env,
+                0,
+                &cfg,
+            )
+            .unwrap()
+            .as_joules(),
+        ),
+        (
+            "respond".to_string(),
+            evaluate_energy(app, "phase_respond", &[args[3].clone()], &env, 0, &cfg)
+                .unwrap()
+                .as_joules(),
+        ),
+    ];
+
+    MachineRow {
+        machine: gpu.name.clone(),
+        e_request,
+        phases,
+    }
+}
+
+/// Runs the experiment on both machines.
+pub fn run() -> Vec<MachineRow> {
+    vec![run_machine(&rtx4090()), run_machine(&rtx3070())]
+}
+
+/// Renders the figure's narrative as text.
+pub fn render(rows: &[MachineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 2: layered stack composition (hardware -> runtime -> application)\n\n");
+    out.push_str("Swapping only the bottom (hardware) layer re-derives the end-to-end\n");
+    out.push_str("interface; the runtime and application EIL is byte-identical.\n\n");
+    for row in rows {
+        out.push_str(&format!(
+            "machine {:<10}  E[request] = {:.4} mJ\n",
+            row.machine,
+            row.e_request * 1e3
+        ));
+        for (phase, e) in &row.phases {
+            out.push_str(&format!("    {:<10} {:.4} mJ\n", phase, e * 1e3));
+        }
+        let total: f64 = row.phases.iter().map(|(_, e)| e).sum();
+        out.push_str(&format!(
+            "    (phase sum {:.4} mJ — granularities agree)\n\n",
+            total * 1e3
+        ));
+    }
+    out
+}

@@ -1,0 +1,12 @@
+//! # ei-bench: the reproduction harness
+//!
+//! One module (and one binary) per paper table/figure and per motivating
+//! experiment — see DESIGN.md's experiment index. The binaries print the
+//! same rows the paper reports; the Criterion benches (in `benches/`)
+//! measure the machinery itself.
+
+pub mod ablation;
+pub mod experiments;
+pub mod fig1;
+pub mod fig2;
+pub mod table1;

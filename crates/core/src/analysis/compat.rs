@@ -1,0 +1,305 @@
+//! Compatibility checking between interfaces.
+//!
+//! §4.1: "A tool then combines the energy interfaces of the system's modules
+//! and provides a first-cut answer on whether they are compatible with each
+//! other, i.e., whether the composition of lower-level modules satisfies the
+//! energy constraints present in the upper-level energy interfaces."
+//!
+//! Here, a *spec* interface declares the energy envelope (its value per
+//! input is the worst-case allowance) and a *candidate* interface (typically
+//! the linked composition of lower-level modules, or an interface derived
+//! from an implementation) must stay within that envelope pointwise over the
+//! declared input space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::analysis::worst_case::worst_case_at;
+use crate::error::{Error, Result};
+use crate::interface::{Interface, InputSpec};
+use crate::units::{Calibration, Energy};
+
+/// One point where the candidate exceeded the spec's envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The input (one scalar per parameter) at which the violation occurred.
+    pub input: Vec<f64>,
+    /// The candidate's worst-case energy at this input.
+    pub candidate: Energy,
+    /// The spec's allowance at this input.
+    pub allowed: Energy,
+}
+
+/// Result of a compatibility check.
+#[derive(Debug, Clone)]
+pub struct CompatReport {
+    /// Number of input points checked.
+    pub points_checked: usize,
+    /// All violations found (empty means compatible on the sampled grid).
+    pub violations: Vec<Violation>,
+    /// Largest candidate/spec ratio observed (1.0 means exactly at budget).
+    pub max_ratio: f64,
+}
+
+impl CompatReport {
+    /// True when no violation was found.
+    pub fn is_compatible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Configuration for [`check_compat`].
+#[derive(Debug, Clone)]
+pub struct CompatConfig {
+    /// Grid points per input dimension (endpoints always included).
+    pub grid: usize,
+    /// Extra uniformly random points.
+    pub random: usize,
+    /// RNG seed for the random points.
+    pub seed: u64,
+    /// Calibration used to reduce both interfaces to Joules.
+    pub calibration: Calibration,
+}
+
+impl Default for CompatConfig {
+    fn default() -> Self {
+        CompatConfig {
+            grid: 5,
+            random: 32,
+            seed: 0xC0,
+            calibration: Calibration::empty(),
+        }
+    }
+}
+
+/// Checks that `candidate.func` stays within `spec.func` over `inputs`.
+///
+/// At each sampled input point the candidate's *upper* bound (worst case
+/// over its ECVs) is compared against the spec's upper bound at the same
+/// point — the spec is an envelope, so its worst case is the allowance.
+/// Both functions must share the same scalar parameter list.
+pub fn check_compat(
+    spec: &Interface,
+    candidate: &Interface,
+    func: &str,
+    inputs: &InputSpec,
+    config: &CompatConfig,
+) -> Result<CompatReport> {
+    let sf = spec.get_fn(func)?;
+    let cf = candidate.get_fn(func)?;
+    if sf.params.len() != cf.params.len() {
+        return Err(Error::Incompatible {
+            msg: format!(
+                "`{func}` has {} parameter(s) in the spec but {} in the candidate",
+                sf.params.len(),
+                cf.params.len()
+            ),
+        });
+    }
+    let ranges: Vec<(f64, f64)> = sf
+        .params
+        .iter()
+        .map(|p| {
+            inputs
+                .get(p)
+                .map(|r| (r.lo, r.hi))
+                .ok_or_else(|| Error::BadInput {
+                    msg: format!("no declared range for parameter `{p}` of `{func}`"),
+                })
+        })
+        .collect::<Result<_>>()?;
+
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    push_grid(&ranges, config.grid.max(2), &mut points);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.random {
+        points.push(
+            ranges
+                .iter()
+                .map(|(a, b)| a + (b - a) * rng.random::<f64>())
+                .collect(),
+        );
+    }
+
+    let mut violations = Vec::new();
+    let mut max_ratio: f64 = 0.0;
+    for point in &points {
+        let allowed = worst_case_at(spec, func, point, &config.calibration)?.upper;
+        let cand = worst_case_at(candidate, func, point, &config.calibration)?.upper;
+        let ratio = if allowed.as_joules() > 0.0 {
+            cand.as_joules() / allowed.as_joules()
+        } else if cand.as_joules() > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        max_ratio = max_ratio.max(ratio);
+        if cand.as_joules() > allowed.as_joules() * (1.0 + 1e-12) {
+            violations.push(Violation {
+                input: point.clone(),
+                candidate: cand,
+                allowed,
+            });
+        }
+    }
+    Ok(CompatReport {
+        points_checked: points.len(),
+        violations,
+        max_ratio,
+    })
+}
+
+/// Builds the cartesian grid over `ranges` with `n` points per dimension.
+fn push_grid(ranges: &[(f64, f64)], n: usize, out: &mut Vec<Vec<f64>>) {
+    let mut point = vec![0.0; ranges.len()];
+    fill_grid(ranges, n, 0, &mut point, out);
+}
+
+fn fill_grid(
+    ranges: &[(f64, f64)],
+    n: usize,
+    dim: usize,
+    point: &mut Vec<f64>,
+    out: &mut Vec<Vec<f64>>,
+) {
+    if dim == ranges.len() {
+        out.push(point.clone());
+        return;
+    }
+    let (a, b) = ranges[dim];
+    for k in 0..n {
+        let v = if n == 1 {
+            a
+        } else {
+            a + (b - a) * (k as f64) / ((n - 1) as f64)
+        };
+        point[dim] = v;
+        fill_grid(ranges, n, dim + 1, point, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn spec() -> Interface {
+        parse(
+            r#"interface spec {
+                fn op(n) { return 10 mJ + 2 mJ * n; }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compatible_candidate_passes() {
+        let cand = parse(
+            r#"interface cand {
+                ecv fast_path: bernoulli(0.9);
+                fn op(n) {
+                    if ecv(fast_path) { return 1 mJ + 1 mJ * n; }
+                    else { return 5 mJ + 2 mJ * n; }
+                }
+            }"#,
+        )
+        .unwrap();
+        let inputs = InputSpec::new().range("n", 0.0, 100.0);
+        let report =
+            check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
+        assert!(report.is_compatible(), "{:?}", report.violations);
+        assert!(report.max_ratio <= 1.0);
+        assert!(report.points_checked >= 5);
+    }
+
+    #[test]
+    fn violating_candidate_flagged_with_witness() {
+        let cand = parse(
+            r#"interface cand {
+                fn op(n) { return 5 mJ + 3 mJ * n; }
+            }"#,
+        )
+        .unwrap();
+        let inputs = InputSpec::new().range("n", 0.0, 100.0);
+        let report =
+            check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
+        assert!(!report.is_compatible());
+        // 5 + 3n > 10 + 2n iff n > 5: the witness must be there.
+        for v in &report.violations {
+            assert!(v.input[0] > 5.0);
+            assert!(v.candidate > v.allowed);
+        }
+        assert!(report.max_ratio > 1.0);
+    }
+
+    #[test]
+    fn crossover_detected_even_between_grid_points() {
+        // Violation only in a narrow window (n in (90, 100]); random points
+        // plus the grid endpoint at 100 must catch it.
+        let cand = parse(
+            r#"interface cand {
+                fn op(n) {
+                    if n > 90 { return 10 mJ + 2.5 mJ * n; }
+                    else { return 1 mJ; }
+                }
+            }"#,
+        )
+        .unwrap();
+        let inputs = InputSpec::new().range("n", 0.0, 100.0);
+        let report =
+            check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
+        assert!(!report.is_compatible());
+    }
+
+    #[test]
+    fn parameter_count_mismatch_rejected() {
+        let cand = parse("interface cand { fn op(n, m) { return 1 mJ * n * m; } }").unwrap();
+        let inputs = InputSpec::new().range("n", 0.0, 1.0);
+        assert!(matches!(
+            check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()),
+            Err(Error::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_range_rejected() {
+        let cand = parse("interface cand { fn op(n) { return 1 mJ; } }").unwrap();
+        assert!(matches!(
+            check_compat(
+                &spec(),
+                &cand,
+                "op",
+                &InputSpec::new(),
+                &CompatConfig::default()
+            ),
+            Err(Error::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_dimensional_grid() {
+        let spec2 = parse(
+            "interface s2 { fn op(a, b) { return 1 mJ * a + 1 mJ * b; } }",
+        )
+        .unwrap();
+        let cand2 = parse(
+            "interface c2 { fn op(a, b) { return 0.5 mJ * (a + b); } }",
+        )
+        .unwrap();
+        let inputs = InputSpec::new().range("a", 0.0, 10.0).range("b", 0.0, 10.0);
+        let report = check_compat(
+            &spec2,
+            &cand2,
+            "op",
+            &inputs,
+            &CompatConfig {
+                grid: 3,
+                random: 5,
+                ..CompatConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.is_compatible());
+        assert_eq!(report.points_checked, 9 + 5);
+    }
+}

@@ -1,0 +1,270 @@
+//! Constant-energy (side-channel freedom) checking.
+//!
+//! §4.1: "There might be situations in which additional constraints would
+//! need to be expressed, such as constant-energy execution for crypto code,
+//! to explicitly disallow energy side-channels — a mere upper bound is not
+//! sufficient for this." This module checks whether an interface function
+//! consumes the same energy for *every* input in its declared space and
+//! every ECV outcome.
+//!
+//! Strategy: first the sound interval analysis — if the abstract result is a
+//! point (within tolerance), the function is proven constant-energy. If the
+//! interval is wide, concrete sampling hunts for a counterexample pair of
+//! inputs with different energies; if one is found the verdict is a definite
+//! "leaky" with a witness, otherwise the verdict stays "unknown" (the
+//! abstraction was too coarse to prove either way).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::analysis::worst_case::worst_case;
+use crate::ecv::EcvEnv;
+use crate::error::Result;
+use crate::interp::{evaluate_energy, EvalConfig};
+use crate::interface::{Interface, InputSpec};
+use crate::units::{Calibration, Energy};
+use crate::value::Value;
+
+/// The verdict of a constant-energy check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstantEnergy {
+    /// Proven: all executions consume the same energy (within tolerance).
+    Constant {
+        /// The constant energy value.
+        energy: Energy,
+    },
+    /// Disproven: two concrete executions with different energies exist.
+    Leaky {
+        /// Inputs (one scalar per parameter) of the cheaper execution.
+        input_lo: Vec<f64>,
+        /// Energy of the cheaper execution.
+        energy_lo: Energy,
+        /// Inputs of the more expensive execution.
+        input_hi: Vec<f64>,
+        /// Energy of the more expensive execution.
+        energy_hi: Energy,
+    },
+    /// The interval analysis was inconclusive and sampling found no
+    /// counterexample.
+    Unknown {
+        /// Width of the abstract energy interval that blocked the proof.
+        interval_width: Energy,
+    },
+}
+
+impl ConstantEnergy {
+    /// True only for a proven-constant verdict.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, ConstantEnergy::Constant { .. })
+    }
+
+    /// True only for a disproven (leaky) verdict.
+    pub fn is_leaky(&self) -> bool {
+        matches!(self, ConstantEnergy::Leaky { .. })
+    }
+}
+
+/// Checks whether `iface.func` is constant-energy over `spec`.
+///
+/// `tolerance` absorbs floating-point noise; `samples` controls the
+/// counterexample hunt. Parameters must all be scalars with declared ranges
+/// (crypto kernels take sizes/flags, not records).
+pub fn check_constant_energy(
+    iface: &Interface,
+    func: &str,
+    spec: &InputSpec,
+    cal: &Calibration,
+    tolerance: Energy,
+    samples: usize,
+    seed: u64,
+) -> Result<ConstantEnergy> {
+    // Phase 1: sound proof attempt.
+    let bound = worst_case(iface, func, spec, cal)?;
+    if bound.width().as_joules().abs() <= tolerance.as_joules() {
+        return Ok(ConstantEnergy::Constant {
+            energy: bound.upper,
+        });
+    }
+
+    // Phase 2: counterexample hunt over concrete inputs and ECV samples.
+    let f = iface.get_fn(func)?;
+    let ranges: Vec<(f64, f64)> = f
+        .params
+        .iter()
+        .map(|p| {
+            spec.get(p)
+                .map(|r| (r.lo, r.hi))
+                .ok_or_else(|| crate::error::Error::BadInput {
+                    msg: format!("no declared range for scalar parameter `{p}`"),
+                })
+        })
+        .collect::<Result<_>>()?;
+    let env = EcvEnv::from_decls(&iface.ecvs);
+    let mut cfg = EvalConfig::default();
+    cfg.calibration = cal.clone();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lo: Option<(Vec<f64>, Energy)> = None;
+    let mut hi: Option<(Vec<f64>, Energy)> = None;
+    for s in 0..samples {
+        let input: Vec<f64> = ranges
+            .iter()
+            .map(|(a, b)| {
+                if s == 0 {
+                    *a
+                } else if s == 1 {
+                    *b
+                } else {
+                    a + (b - a) * rng.random::<f64>()
+                }
+            })
+            .collect();
+        let args: Vec<Value> = input.iter().map(|v| Value::Num(*v)).collect();
+        let e = evaluate_energy(iface, func, &args, &env, seed ^ s as u64, &cfg)?;
+        if lo.as_ref().is_none_or(|(_, le)| e < *le) {
+            lo = Some((input.clone(), e));
+        }
+        if hi.as_ref().is_none_or(|(_, he)| e > *he) {
+            hi = Some((input, e));
+        }
+        if let (Some((li, le)), Some((hi_i, he))) = (&lo, &hi) {
+            if (*he - *le).as_joules() > tolerance.as_joules() {
+                return Ok(ConstantEnergy::Leaky {
+                    input_lo: li.clone(),
+                    energy_lo: *le,
+                    input_hi: hi_i.clone(),
+                    energy_hi: *he,
+                });
+            }
+        }
+    }
+    Ok(ConstantEnergy::Unknown {
+        interval_width: bound.width(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn constant_time_compare_is_proven_constant() {
+        // A fixed-iteration compare: energy depends only on the (fixed)
+        // buffer length, never on the data.
+        let i = parse(
+            r#"interface crypto {
+                fn ct_compare(len) {
+                    let acc = 0 J;
+                    for b in 0..32 { acc = acc + 3 nJ; }
+                    return acc;
+                }
+            }"#,
+        )
+        .unwrap();
+        let spec = InputSpec::new().range("len", 0.0, 1024.0);
+        let v = check_constant_energy(
+            &i,
+            "ct_compare",
+            &spec,
+            &Calibration::empty(),
+            Energy::picojoules(1.0),
+            64,
+            42,
+        )
+        .unwrap();
+        match v {
+            ConstantEnergy::Constant { energy } => {
+                assert!((energy.as_joules() - 96e-9).abs() < 1e-15);
+            }
+            other => panic!("expected constant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_exit_compare_is_leaky() {
+        // Early-exit compare: energy scales with the match prefix length.
+        let i = parse(
+            r#"interface crypto {
+                fn leaky_compare(prefix) {
+                    let acc = 1 nJ;
+                    for b in 0..prefix { acc = acc + 3 nJ; }
+                    return acc;
+                }
+            }"#,
+        )
+        .unwrap();
+        let spec = InputSpec::new().range("prefix", 0.0, 32.0);
+        let v = check_constant_energy(
+            &i,
+            "leaky_compare",
+            &spec,
+            &Calibration::empty(),
+            Energy::picojoules(1.0),
+            64,
+            42,
+        )
+        .unwrap();
+        match v {
+            ConstantEnergy::Leaky {
+                energy_lo,
+                energy_hi,
+                ..
+            } => {
+                assert!(energy_hi > energy_lo);
+            }
+            other => panic!("expected leaky, got {other:?}"),
+        }
+        assert!(v.is_leaky());
+        assert!(!v.is_constant());
+    }
+
+    #[test]
+    fn ecv_dependent_energy_is_leaky() {
+        let i = parse(
+            r#"interface c {
+                ecv cached: bernoulli(0.5);
+                fn f(x) {
+                    if ecv(cached) { return 1 nJ; } else { return 9 nJ; }
+                }
+            }"#,
+        )
+        .unwrap();
+        let spec = InputSpec::new().range("x", 0.0, 1.0);
+        let v = check_constant_energy(
+            &i,
+            "f",
+            &spec,
+            &Calibration::empty(),
+            Energy::picojoules(1.0),
+            128,
+            7,
+        )
+        .unwrap();
+        assert!(v.is_leaky(), "got {v:?}");
+    }
+
+    #[test]
+    fn tolerance_absorbs_noise() {
+        let i = parse(
+            r#"interface c {
+                fn f(x) {
+                    if x > 0.5 { return 1.0000001 nJ; } else { return 1 nJ; }
+                }
+            }"#,
+        )
+        .unwrap();
+        let spec = InputSpec::new().range("x", 0.0, 1.0);
+        let v = check_constant_energy(
+            &i,
+            "f",
+            &spec,
+            &Calibration::empty(),
+            Energy::nanojoules(0.001),
+            64,
+            1,
+        )
+        .unwrap();
+        assert!(v.is_constant(), "got {v:?}");
+    }
+}

@@ -1,0 +1,1345 @@
+//! Interval abstract interpretation of EIL.
+//!
+//! §4.1: "the interface's return value represents the worst-case energy
+//! consumption for all module executions that correspond to that path", and
+//! a toolchain must verify "that indeed the code written thus far satisfies
+//! the worst-case energy interface". This module provides the sound
+//! over-approximation that backs those checks: every value becomes an
+//! interval (numbers, energy components) or a three-valued boolean, inputs
+//! range over their declared [`crate::interface::InputSpec`]
+//! ranges, and ECVs range over their distributions' supports.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{BinOp, Builtin, Expr, Stmt, UnOp};
+use crate::ecv::DistSpec;
+use crate::error::{Error, NameKind, Result};
+use crate::interface::{Interface, InputSpec};
+use crate::units::{Calibration, Energy};
+
+/// Maximum trip count an abstract loop may be unrolled to.
+pub const MAX_ABSTRACT_TRIPS: u64 = 65_536;
+
+/// A closed interval of reals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// A degenerate point interval.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// A general interval; callers must keep `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// True when the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Interval sum.
+    pub fn add(&self, o: &Interval) -> Interval {
+        Interval::new(self.lo + o.lo, self.hi + o.hi)
+    }
+
+    /// Interval difference.
+    pub fn sub(&self, o: &Interval) -> Interval {
+        Interval::new(self.lo - o.hi, self.hi - o.lo)
+    }
+
+    /// Interval product (min/max of the four corner products).
+    pub fn mul(&self, o: &Interval) -> Interval {
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        Interval::new(
+            c.iter().cloned().fold(f64::INFINITY, f64::min),
+            c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Interval quotient; errors when the divisor may be zero.
+    pub fn div(&self, o: &Interval) -> Result<Interval> {
+        if o.contains(0.0) {
+            return Err(Error::Analysis {
+                msg: "possible division by zero under worst-case analysis".into(),
+            });
+        }
+        let inv = Interval::new(1.0 / o.hi, 1.0 / o.lo);
+        Ok(self.mul(&inv))
+    }
+
+    /// Applies a monotone non-decreasing function to both ends.
+    pub fn map_monotone(&self, f: impl Fn(f64) -> f64) -> Interval {
+        Interval::new(f(self.lo), f(self.hi))
+    }
+}
+
+/// Three-valued abstract boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsBool {
+    /// Definitely true on every concrete execution.
+    True,
+    /// Definitely false on every concrete execution.
+    False,
+    /// May be either.
+    Unknown,
+}
+
+impl AbsBool {
+    /// Lifts a concrete boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            AbsBool::True
+        } else {
+            AbsBool::False
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(self) -> Self {
+        match self {
+            AbsBool::True => AbsBool::False,
+            AbsBool::False => AbsBool::True,
+            AbsBool::Unknown => AbsBool::Unknown,
+        }
+    }
+
+    /// Logical conjunction.
+    pub fn and(self, o: AbsBool) -> AbsBool {
+        match (self, o) {
+            (AbsBool::False, _) | (_, AbsBool::False) => AbsBool::False,
+            (AbsBool::True, AbsBool::True) => AbsBool::True,
+            _ => AbsBool::Unknown,
+        }
+    }
+
+    /// Logical disjunction.
+    pub fn or(self, o: AbsBool) -> AbsBool {
+        match (self, o) {
+            (AbsBool::True, _) | (_, AbsBool::True) => AbsBool::True,
+            (AbsBool::False, AbsBool::False) => AbsBool::False,
+            _ => AbsBool::Unknown,
+        }
+    }
+}
+
+/// An abstract energy vector: interval Joules plus interval abstract units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsEnergy {
+    /// Joule component interval.
+    pub joules: Interval,
+    /// Abstract-unit component intervals.
+    pub abstracts: BTreeMap<String, Interval>,
+}
+
+impl AbsEnergy {
+    /// The zero energy.
+    pub fn zero() -> Self {
+        AbsEnergy {
+            joules: Interval::point(0.0),
+            abstracts: BTreeMap::new(),
+        }
+    }
+
+    /// A pure-Joule abstract energy.
+    pub fn from_joules(i: Interval) -> Self {
+        AbsEnergy {
+            joules: i,
+            abstracts: BTreeMap::new(),
+        }
+    }
+
+    /// A single abstract-unit component.
+    pub fn from_unit(u: impl Into<String>, i: Interval) -> Self {
+        let mut abstracts = BTreeMap::new();
+        abstracts.insert(u.into(), i);
+        AbsEnergy {
+            joules: Interval::point(0.0),
+            abstracts,
+        }
+    }
+
+    fn zip(
+        &self,
+        o: &AbsEnergy,
+        f: impl Fn(&Interval, &Interval) -> Interval,
+    ) -> AbsEnergy {
+        let mut abstracts = BTreeMap::new();
+        let zero = Interval::point(0.0);
+        for k in self.abstracts.keys().chain(o.abstracts.keys()) {
+            if abstracts.contains_key(k) {
+                continue;
+            }
+            let a = self.abstracts.get(k).unwrap_or(&zero);
+            let b = o.abstracts.get(k).unwrap_or(&zero);
+            abstracts.insert(k.clone(), f(a, b));
+        }
+        AbsEnergy {
+            joules: f(&self.joules, &o.joules),
+            abstracts,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, o: &AbsEnergy) -> AbsEnergy {
+        self.zip(o, |a, b| a.add(b))
+    }
+
+    /// Component-wise difference.
+    pub fn sub(&self, o: &AbsEnergy) -> AbsEnergy {
+        self.zip(o, |a, b| a.sub(b))
+    }
+
+    /// Component-wise join.
+    pub fn join(&self, o: &AbsEnergy) -> AbsEnergy {
+        self.zip(o, |a, b| a.join(b))
+    }
+
+    /// Scales every component by an interval factor.
+    pub fn scale(&self, k: &Interval) -> AbsEnergy {
+        AbsEnergy {
+            joules: self.joules.mul(k),
+            abstracts: self
+                .abstracts
+                .iter()
+                .map(|(u, i)| (u.clone(), i.mul(k)))
+                .collect(),
+        }
+    }
+
+    /// Worst-case (upper bound) concrete energy under a calibration.
+    pub fn upper_bound(&self, cal: &Calibration) -> Result<Energy> {
+        let mut hi = self.joules.hi;
+        for (u, i) in &self.abstracts {
+            if i.lo == 0.0 && i.hi == 0.0 {
+                continue;
+            }
+            let e = cal.get(u).ok_or_else(|| Error::Uncalibrated {
+                unit: u.clone(),
+            })?;
+            // Calibrations are non-negative energies per unit.
+            hi += i.hi * e.as_joules();
+        }
+        Ok(Energy(hi))
+    }
+
+    /// Best-case (lower bound) concrete energy under a calibration.
+    pub fn lower_bound(&self, cal: &Calibration) -> Result<Energy> {
+        let mut lo = self.joules.lo;
+        for (u, i) in &self.abstracts {
+            if i.lo == 0.0 && i.hi == 0.0 {
+                continue;
+            }
+            let e = cal.get(u).ok_or_else(|| Error::Uncalibrated {
+                unit: u.clone(),
+            })?;
+            lo += i.lo * e.as_joules();
+        }
+        Ok(Energy(lo))
+    }
+}
+
+/// An abstract value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsValue {
+    /// A numeric interval.
+    Num(Interval),
+    /// A three-valued boolean.
+    Bool(AbsBool),
+    /// An abstract energy vector.
+    Energy(AbsEnergy),
+    /// A record of abstract fields.
+    Record(BTreeMap<String, AbsValue>),
+}
+
+impl AbsValue {
+    /// Extracts a numeric interval, or errors.
+    pub fn as_num(&self) -> Result<Interval> {
+        match self {
+            AbsValue::Num(i) => Ok(*i),
+            other => Err(Error::Type {
+                expected: "number",
+                got: abs_type_name(other).into(),
+            }),
+        }
+    }
+
+    /// Extracts an abstract boolean, or errors.
+    pub fn as_bool(&self) -> Result<AbsBool> {
+        match self {
+            AbsValue::Bool(b) => Ok(*b),
+            other => Err(Error::Type {
+                expected: "boolean",
+                got: abs_type_name(other).into(),
+            }),
+        }
+    }
+
+    /// Extracts an abstract energy, or errors.
+    pub fn as_energy(&self) -> Result<&AbsEnergy> {
+        match self {
+            AbsValue::Energy(e) => Ok(e),
+            other => Err(Error::Type {
+                expected: "energy",
+                got: abs_type_name(other).into(),
+            }),
+        }
+    }
+
+    /// Smallest abstract value covering both operands.
+    pub fn join(&self, other: &AbsValue) -> Result<AbsValue> {
+        match (self, other) {
+            (AbsValue::Num(a), AbsValue::Num(b)) => Ok(AbsValue::Num(a.join(b))),
+            (AbsValue::Bool(a), AbsValue::Bool(b)) => Ok(AbsValue::Bool(if a == b {
+                *a
+            } else {
+                AbsBool::Unknown
+            })),
+            (AbsValue::Energy(a), AbsValue::Energy(b)) => {
+                Ok(AbsValue::Energy(a.join(b)))
+            }
+            (AbsValue::Record(a), AbsValue::Record(b)) if a.len() == b.len() => {
+                let mut out = BTreeMap::new();
+                for (k, va) in a {
+                    let vb = b.get(k).ok_or_else(|| Error::Type {
+                        expected: "records with matching fields",
+                        got: format!("missing field `{k}`"),
+                    })?;
+                    out.insert(k.clone(), va.join(vb)?);
+                }
+                Ok(AbsValue::Record(out))
+            }
+            (a, b) => Err(Error::Type {
+                expected: "joinable abstract values",
+                got: format!("{} and {}", abs_type_name(a), abs_type_name(b)),
+            }),
+        }
+    }
+}
+
+fn abs_type_name(v: &AbsValue) -> &'static str {
+    match v {
+        AbsValue::Num(_) => "number",
+        AbsValue::Bool(_) => "boolean",
+        AbsValue::Energy(_) => "energy",
+        AbsValue::Record(_) => "record",
+    }
+}
+
+/// The abstract range of one ECV, derived from its distribution.
+pub fn ecv_abs_value(dist: &DistSpec) -> AbsValue {
+    match dist {
+        DistSpec::Bernoulli { p } => AbsValue::Bool(if *p == 0.0 {
+            AbsBool::False
+        } else if *p == 1.0 {
+            AbsBool::True
+        } else {
+            AbsBool::Unknown
+        }),
+        DistSpec::Discrete { outcomes } => {
+            let lo = outcomes
+                .iter()
+                .filter(|(_, p)| *p > 0.0)
+                .map(|(v, _)| *v)
+                .fold(f64::INFINITY, f64::min);
+            let hi = outcomes
+                .iter()
+                .filter(|(_, p)| *p > 0.0)
+                .map(|(v, _)| *v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            AbsValue::Num(Interval::new(lo, hi))
+        }
+        DistSpec::Uniform { lo, hi } => AbsValue::Num(Interval::new(*lo, *hi)),
+        DistSpec::Normal { mean, std_dev } => AbsValue::Num(Interval::new(
+            mean - 6.0 * std_dev,
+            mean + 6.0 * std_dev,
+        )),
+        DistSpec::Point { value } => AbsValue::Num(Interval::point(*value)),
+    }
+}
+
+/// Builds the abstract input for `func` from its declared [`InputSpec`].
+///
+/// Paths of the form `param` become interval numbers; `param.field` paths
+/// become record fields. Parameters without any declared range are rejected.
+pub fn abstract_inputs(iface: &Interface, func: &str, spec: &InputSpec) -> Result<Vec<AbsValue>> {
+    let f = iface.get_fn(func)?;
+    let mut out = Vec::with_capacity(f.params.len());
+    for p in &f.params {
+        if let Some(r) = spec.get(p) {
+            out.push(AbsValue::Num(Interval::new(r.lo, r.hi)));
+            continue;
+        }
+        // Record-shaped parameter: gather `p.field` entries.
+        let prefix = format!("{p}.");
+        let mut fields = BTreeMap::new();
+        for (path, r) in spec.iter() {
+            if let Some(field) = path.strip_prefix(&prefix) {
+                fields.insert(
+                    field.to_string(),
+                    AbsValue::Num(Interval::new(r.lo, r.hi)),
+                );
+            }
+        }
+        if fields.is_empty() {
+            return Err(Error::BadInput {
+                msg: format!(
+                    "no input range declared for parameter `{p}` of `{func}`"
+                ),
+            });
+        }
+        out.push(AbsValue::Record(fields));
+    }
+    Ok(out)
+}
+
+/// Abstractly evaluates `iface.func(args)`.
+///
+/// ECVs take their distribution-derived abstract values; both branches of
+/// unknown conditionals are joined; loops are unrolled up to
+/// [`MAX_ABSTRACT_TRIPS`]. The result over-approximates every concrete
+/// execution.
+pub fn abstract_eval(iface: &Interface, func: &str, args: &[AbsValue]) -> Result<AbsValue> {
+    let mut a = AbsEval { iface, depth: 0 };
+    a.call(func, args.to_vec())
+}
+
+struct AbsEval<'a> {
+    iface: &'a Interface,
+    depth: usize,
+}
+
+/// Outcome of abstractly executing a block.
+struct AbsFlow {
+    /// Join of all values returned so far on paths that returned.
+    returned: Option<AbsValue>,
+    /// Whether some path falls through the block.
+    falls_through: bool,
+}
+
+impl<'a> AbsEval<'a> {
+    fn call(&mut self, name: &str, args: Vec<AbsValue>) -> Result<AbsValue> {
+        if self.depth > 64 {
+            return Err(Error::Analysis {
+                msg: "abstract call depth exceeded (recursive interface?)".into(),
+            });
+        }
+        let f = if let Some(f) = self.iface.fns.get(name) {
+            f
+        } else if self.iface.externs.contains_key(name) {
+            return Err(Error::Link {
+                msg: format!("extern `{name}` must be linked before analysis"),
+            });
+        } else {
+            return Err(Error::Unresolved {
+                kind: NameKind::Function,
+                name: name.to_string(),
+            });
+        };
+        if f.params.len() != args.len() {
+            return Err(Error::Arity {
+                func: name.to_string(),
+                expected: f.params.len(),
+                got: args.len(),
+            });
+        }
+        let mut locals: BTreeMap<String, AbsValue> =
+            f.params.iter().cloned().zip(args).collect();
+        self.depth += 1;
+        let flow = self.block(&f.body, &mut locals);
+        self.depth -= 1;
+        let flow = flow?;
+        match flow.returned {
+            Some(v) if !flow.falls_through => Ok(v),
+            Some(_) | None => Err(Error::Analysis {
+                msg: format!(
+                    "function `{name}` may fall off the end under abstract evaluation"
+                ),
+            }),
+        }
+    }
+
+    fn block(
+        &mut self,
+        stmts: &[Stmt],
+        locals: &mut BTreeMap<String, AbsValue>,
+    ) -> Result<AbsFlow> {
+        let mut returned: Option<AbsValue> = None;
+        for s in stmts {
+            match s {
+                Stmt::Let(name, e) => {
+                    let v = self.expr(e, locals)?;
+                    locals.insert(name.clone(), v);
+                }
+                Stmt::Assign(name, e) => {
+                    if !locals.contains_key(name) {
+                        return Err(Error::Unresolved {
+                            kind: NameKind::Variable,
+                            name: name.clone(),
+                        });
+                    }
+                    let v = self.expr(e, locals)?;
+                    locals.insert(name.clone(), v);
+                }
+                Stmt::If(c, t, els) => {
+                    let cond = self.expr(c, locals)?.as_bool()?;
+                    match cond {
+                        AbsBool::True => {
+                            let f = self.block(t, locals)?;
+                            returned = join_opt(returned, f.returned)?;
+                            if !f.falls_through {
+                                return Ok(AbsFlow {
+                                    returned,
+                                    falls_through: false,
+                                });
+                            }
+                        }
+                        AbsBool::False => {
+                            let f = self.block(els, locals)?;
+                            returned = join_opt(returned, f.returned)?;
+                            if !f.falls_through {
+                                return Ok(AbsFlow {
+                                    returned,
+                                    falls_through: false,
+                                });
+                            }
+                        }
+                        AbsBool::Unknown => {
+                            let mut then_locals = locals.clone();
+                            let ft = self.block(t, &mut then_locals)?;
+                            let mut else_locals = locals.clone();
+                            let fe = self.block(els, &mut else_locals)?;
+                            returned = join_opt(returned, ft.returned)?;
+                            returned = join_opt(returned, fe.returned)?;
+                            match (ft.falls_through, fe.falls_through) {
+                                (false, false) => {
+                                    return Ok(AbsFlow {
+                                        returned,
+                                        falls_through: false,
+                                    })
+                                }
+                                (true, false) => *locals = then_locals,
+                                (false, true) => *locals = else_locals,
+                                (true, true) => {
+                                    *locals = join_locals(&then_locals, &else_locals)?;
+                                }
+                            }
+                        }
+                    }
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let from_i = self.expr(from, locals)?.as_num()?;
+                    let to_i = self.expr(to, locals)?.as_num()?;
+                    let max_trips = (to_i.hi - from_i.lo).ceil().max(0.0);
+                    if max_trips > MAX_ABSTRACT_TRIPS as f64 {
+                        return Err(Error::Analysis {
+                            msg: format!(
+                                "for-loop may run {max_trips} times; exceeds abstract \
+                                 unroll limit {MAX_ABSTRACT_TRIPS}"
+                            ),
+                        });
+                    }
+                    let min_trips = (to_i.lo - from_i.hi).ceil().max(0.0) as u64;
+                    let max_trips = max_trips as u64;
+                    let mut exit: Option<BTreeMap<String, AbsValue>> = None;
+                    for k in 0..=max_trips {
+                        if k >= min_trips {
+                            exit = Some(match exit {
+                                None => locals.clone(),
+                                Some(e) => join_locals(&e, locals)?,
+                            });
+                        }
+                        if k == max_trips {
+                            break;
+                        }
+                        let iter_var = Interval::new(
+                            from_i.lo + k as f64,
+                            (from_i.hi + k as f64).min(to_i.hi - 1.0),
+                        );
+                        locals.insert(var.clone(), AbsValue::Num(iter_var));
+                        let f = self.block(body, locals)?;
+                        returned = join_opt(returned, f.returned)?;
+                        if !f.falls_through {
+                            if k < min_trips {
+                                // The iteration definitely executes and every
+                                // path through it returns: terminal.
+                                return Ok(AbsFlow {
+                                    returned,
+                                    falls_through: false,
+                                });
+                            }
+                            // The loop may also exit before this iteration;
+                            // keep the joined exit states accumulated so far.
+                            break;
+                        }
+                    }
+                    *locals = exit.expect("at least one exit state");
+                }
+                Stmt::While { cond, bound, body } => {
+                    let mut exit: Option<BTreeMap<String, AbsValue>> = None;
+                    let mut terminated = false;
+                    for _ in 0..=*bound {
+                        match self.expr(cond, locals)?.as_bool()? {
+                            AbsBool::False => {
+                                exit = Some(match exit {
+                                    None => locals.clone(),
+                                    Some(e) => join_locals(&e, locals)?,
+                                });
+                                terminated = true;
+                                break;
+                            }
+                            AbsBool::Unknown => {
+                                exit = Some(match exit {
+                                    None => locals.clone(),
+                                    Some(e) => join_locals(&e, locals)?,
+                                });
+                            }
+                            AbsBool::True => {}
+                        }
+                        let f = self.block(body, locals)?;
+                        returned = join_opt(returned, f.returned)?;
+                        if !f.falls_through {
+                            terminated = true;
+                            break;
+                        }
+                    }
+                    if !terminated {
+                        // After `bound` iterations the condition may still
+                        // hold; the runtime would fault, so the worst case
+                        // is unbounded from the analysis' perspective.
+                        match self.expr(cond, locals)?.as_bool()? {
+                            AbsBool::False => {
+                                exit = Some(match exit {
+                                    None => locals.clone(),
+                                    Some(e) => join_locals(&e, locals)?,
+                                });
+                            }
+                            _ => {
+                                return Err(Error::Analysis {
+                                    msg: format!(
+                                        "while loop may exceed its declared bound {bound}"
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                    if let Some(e) = exit {
+                        *locals = e;
+                    }
+                }
+                Stmt::Return(e) => {
+                    let v = self.expr(e, locals)?;
+                    returned = join_opt(returned, Some(v))?;
+                    return Ok(AbsFlow {
+                        returned,
+                        falls_through: false,
+                    });
+                }
+            }
+        }
+        Ok(AbsFlow {
+            returned,
+            falls_through: true,
+        })
+    }
+
+    fn expr(
+        &mut self,
+        e: &Expr,
+        locals: &BTreeMap<String, AbsValue>,
+    ) -> Result<AbsValue> {
+        match e {
+            Expr::Num(n) => Ok(AbsValue::Num(Interval::point(*n))),
+            Expr::Bool(b) => Ok(AbsValue::Bool(AbsBool::from_bool(*b))),
+            Expr::Joules(j) => Ok(AbsValue::Energy(AbsEnergy::from_joules(
+                Interval::point(*j),
+            ))),
+            Expr::Unit(u, k) => Ok(AbsValue::Energy(AbsEnergy::from_unit(
+                u.clone(),
+                Interval::point(*k),
+            ))),
+            Expr::Var(name) =>
+
+                locals.get(name).cloned().ok_or_else(|| Error::Unresolved {
+                    kind: NameKind::Variable,
+                    name: name.clone(),
+                }),
+            Expr::Field(base, name) => {
+                let b = self.expr(base, locals)?;
+                match b {
+                    AbsValue::Record(fields) => {
+                        fields.get(name).cloned().ok_or_else(|| Error::Unresolved {
+                            kind: NameKind::Field,
+                            name: name.clone(),
+                        })
+                    }
+                    other => Err(Error::Type {
+                        expected: "record",
+                        got: abs_type_name(&other).into(),
+                    }),
+                }
+            }
+            Expr::Ecv(name) => {
+                let decl = self.iface.ecvs.get(name).ok_or_else(|| Error::Unresolved {
+                    kind: NameKind::Ecv,
+                    name: name.clone(),
+                })?;
+                Ok(ecv_abs_value(&decl.dist))
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.expr(inner, locals)?;
+                match op {
+                    UnOp::Neg => match v {
+                        AbsValue::Num(i) => {
+                            Ok(AbsValue::Num(Interval::new(-i.hi, -i.lo)))
+                        }
+                        AbsValue::Energy(e) => {
+                            Ok(AbsValue::Energy(e.scale(&Interval::point(-1.0))))
+                        }
+                        other => Err(Error::Type {
+                            expected: "number or energy",
+                            got: abs_type_name(&other).into(),
+                        }),
+                    },
+                    UnOp::Not => Ok(AbsValue::Bool(v.as_bool()?.not())),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.expr(a, locals)?;
+                let bv = self.expr(b, locals)?;
+                abs_binary(*op, av, bv)
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals)?);
+                }
+                if self.iface.fns.contains_key(name)
+                    || self.iface.externs.contains_key(name)
+                {
+                    self.call(name, vals)
+                } else if let Some(b) = Builtin::from_name(name) {
+                    abs_builtin(b, &vals)
+                } else {
+                    Err(Error::Unresolved {
+                        kind: NameKind::Function,
+                        name: name.clone(),
+                    })
+                }
+            }
+            Expr::BuiltinCall(b, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals)?);
+                }
+                abs_builtin(*b, &vals)
+            }
+            Expr::IfExpr(c, t, f) => {
+                match self.expr(c, locals)?.as_bool()? {
+                    AbsBool::True => self.expr(t, locals),
+                    AbsBool::False => self.expr(f, locals),
+                    AbsBool::Unknown => {
+                        let tv = self.expr(t, locals)?;
+                        let fv = self.expr(f, locals)?;
+                        tv.join(&fv)
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn join_opt(a: Option<AbsValue>, b: Option<AbsValue>) -> Result<Option<AbsValue>> {
+    Ok(match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(a), Some(b)) => Some(a.join(&b)?),
+    })
+}
+
+fn join_locals(
+    a: &BTreeMap<String, AbsValue>,
+    b: &BTreeMap<String, AbsValue>,
+) -> Result<BTreeMap<String, AbsValue>> {
+    // Variables defined on only one path are dropped; a later use of such a
+    // variable fails the analysis, which is the sound response.
+    let mut out = BTreeMap::new();
+    for (k, va) in a {
+        if let Some(vb) = b.get(k) {
+            out.insert(k.clone(), va.join(vb)?);
+        }
+    }
+    Ok(out)
+}
+
+fn abs_binary(op: BinOp, a: AbsValue, b: AbsValue) -> Result<AbsValue> {
+    use BinOp::*;
+    match op {
+        Add | Sub => match (a, b) {
+            (AbsValue::Num(x), AbsValue::Num(y)) => Ok(AbsValue::Num(if op == Add {
+                x.add(&y)
+            } else {
+                x.sub(&y)
+            })),
+            (AbsValue::Energy(x), AbsValue::Energy(y)) => {
+                Ok(AbsValue::Energy(if op == Add {
+                    x.add(&y)
+                } else {
+                    x.sub(&y)
+                }))
+            }
+            (a, b) => Err(Error::Type {
+                expected: "matching operand types for +/-",
+                got: format!("{} and {}", abs_type_name(&a), abs_type_name(&b)),
+            }),
+        },
+        Mul => match (a, b) {
+            (AbsValue::Num(x), AbsValue::Num(y)) => Ok(AbsValue::Num(x.mul(&y))),
+            (AbsValue::Energy(e), AbsValue::Num(k))
+            | (AbsValue::Num(k), AbsValue::Energy(e)) => Ok(AbsValue::Energy(e.scale(&k))),
+            (a, b) => Err(Error::Type {
+                expected: "number*number or energy*number",
+                got: format!("{} and {}", abs_type_name(&a), abs_type_name(&b)),
+            }),
+        },
+        Div => match (a, b) {
+            (AbsValue::Num(x), AbsValue::Num(y)) => Ok(AbsValue::Num(x.div(&y)?)),
+            (AbsValue::Energy(e), AbsValue::Num(k)) => {
+                if k.contains(0.0) {
+                    Err(Error::Analysis {
+                        msg: "possible division by zero under worst-case analysis".into(),
+                    })
+                } else {
+                    let inv = Interval::new(1.0 / k.hi, 1.0 / k.lo);
+                    Ok(AbsValue::Energy(e.scale(&inv)))
+                }
+            }
+            (AbsValue::Energy(x), AbsValue::Energy(y)) => {
+                if !x.abstracts.is_empty() || !y.abstracts.is_empty() {
+                    return Err(Error::Analysis {
+                        msg: "energy/energy division requires concrete energies".into(),
+                    });
+                }
+                Ok(AbsValue::Num(x.joules.div(&y.joules)?))
+            }
+            (a, b) => Err(Error::Type {
+                expected: "number/number, energy/number, or energy/energy",
+                got: format!("{} and {}", abs_type_name(&a), abs_type_name(&b)),
+            }),
+        },
+        Mod => {
+            let x = a.as_num()?;
+            let y = b.as_num()?;
+            if y.contains(0.0) {
+                return Err(Error::Analysis {
+                    msg: "possible modulo by zero under worst-case analysis".into(),
+                });
+            }
+            if x.is_point() && y.is_point() {
+                Ok(AbsValue::Num(Interval::point(x.lo.rem_euclid(y.lo))))
+            } else {
+                // `rem_euclid` is bounded by [0, |y|.hi).
+                let m = y.lo.abs().max(y.hi.abs());
+                Ok(AbsValue::Num(Interval::new(0.0, m)))
+            }
+        }
+        Eq | Ne => {
+            let r = abs_compare_eq(&a, &b)?;
+            Ok(AbsValue::Bool(if op == Eq { r } else { r.not() }))
+        }
+        Lt | Le | Gt | Ge => {
+            let (x, y) = match (&a, &b) {
+                (AbsValue::Num(x), AbsValue::Num(y)) => (*x, *y),
+                (AbsValue::Energy(x), AbsValue::Energy(y))
+                    if x.abstracts.is_empty() && y.abstracts.is_empty() =>
+                {
+                    (x.joules, y.joules)
+                }
+                _ => {
+                    return Err(Error::Type {
+                        expected: "numbers or concrete energies for comparison",
+                        got: format!(
+                            "{} and {}",
+                            abs_type_name(&a),
+                            abs_type_name(&b)
+                        ),
+                    })
+                }
+            };
+            let r = match op {
+                Lt => {
+                    if x.hi < y.lo {
+                        AbsBool::True
+                    } else if x.lo >= y.hi {
+                        AbsBool::False
+                    } else {
+                        AbsBool::Unknown
+                    }
+                }
+                Le => {
+                    if x.hi <= y.lo {
+                        AbsBool::True
+                    } else if x.lo > y.hi {
+                        AbsBool::False
+                    } else {
+                        AbsBool::Unknown
+                    }
+                }
+                Gt => {
+                    if x.lo > y.hi {
+                        AbsBool::True
+                    } else if x.hi <= y.lo {
+                        AbsBool::False
+                    } else {
+                        AbsBool::Unknown
+                    }
+                }
+                Ge => {
+                    if x.lo >= y.hi {
+                        AbsBool::True
+                    } else if x.hi < y.lo {
+                        AbsBool::False
+                    } else {
+                        AbsBool::Unknown
+                    }
+                }
+                _ => unreachable!("comparison op"),
+            };
+            Ok(AbsValue::Bool(r))
+        }
+        And => Ok(AbsValue::Bool(a.as_bool()?.and(b.as_bool()?))),
+        Or => Ok(AbsValue::Bool(a.as_bool()?.or(b.as_bool()?))),
+    }
+}
+
+fn abs_compare_eq(a: &AbsValue, b: &AbsValue) -> Result<AbsBool> {
+    match (a, b) {
+        (AbsValue::Num(x), AbsValue::Num(y)) => Ok(if x.is_point() && y.is_point() {
+            AbsBool::from_bool(x.lo == y.lo)
+        } else if x.hi < y.lo || y.hi < x.lo {
+            AbsBool::False
+        } else {
+            AbsBool::Unknown
+        }),
+        (AbsValue::Bool(x), AbsValue::Bool(y)) => Ok(match (x, y) {
+            (AbsBool::Unknown, _) | (_, AbsBool::Unknown) => AbsBool::Unknown,
+            _ => AbsBool::from_bool(x == y),
+        }),
+        _ => Err(Error::Type {
+            expected: "matching operand types for ==",
+            got: format!("{} and {}", abs_type_name(a), abs_type_name(b)),
+        }),
+    }
+}
+
+fn abs_builtin(b: Builtin, args: &[AbsValue]) -> Result<AbsValue> {
+    if args.len() != b.arity() {
+        return Err(Error::Arity {
+            func: b.name().to_string(),
+            expected: b.arity(),
+            got: args.len(),
+        });
+    }
+    let num = |i: usize| args[i].as_num();
+    match b {
+        Builtin::Min | Builtin::Max => {
+            let pick = |x: f64, y: f64| {
+                if b == Builtin::Min {
+                    x.min(y)
+                } else {
+                    x.max(y)
+                }
+            };
+            match (&args[0], &args[1]) {
+                (AbsValue::Num(x), AbsValue::Num(y)) => Ok(AbsValue::Num(Interval::new(
+                    pick(x.lo, y.lo),
+                    pick(x.hi, y.hi),
+                ))),
+                (AbsValue::Energy(x), AbsValue::Energy(y))
+                    if x.abstracts.is_empty() && y.abstracts.is_empty() =>
+                {
+                    Ok(AbsValue::Energy(AbsEnergy::from_joules(Interval::new(
+                        pick(x.joules.lo, y.joules.lo),
+                        pick(x.joules.hi, y.joules.hi),
+                    ))))
+                }
+                (a, c) => Err(Error::Type {
+                    expected: "two numbers or two concrete energies",
+                    got: format!("{} and {}", abs_type_name(a), abs_type_name(c)),
+                }),
+            }
+        }
+        Builtin::Abs => {
+            let i = num(0)?;
+            Ok(AbsValue::Num(if i.lo >= 0.0 {
+                i
+            } else if i.hi <= 0.0 {
+                Interval::new(-i.hi, -i.lo)
+            } else {
+                Interval::new(0.0, i.lo.abs().max(i.hi.abs()))
+            }))
+        }
+        Builtin::Ceil => Ok(AbsValue::Num(num(0)?.map_monotone(f64::ceil))),
+        Builtin::Floor => Ok(AbsValue::Num(num(0)?.map_monotone(f64::floor))),
+        Builtin::Round => Ok(AbsValue::Num(num(0)?.map_monotone(f64::round))),
+        Builtin::Sqrt => {
+            let i = num(0)?;
+            if i.lo < 0.0 {
+                Err(Error::Analysis {
+                    msg: "sqrt of possibly negative value".into(),
+                })
+            } else {
+                Ok(AbsValue::Num(i.map_monotone(f64::sqrt)))
+            }
+        }
+        Builtin::Log2 => {
+            let i = num(0)?;
+            if i.lo <= 0.0 {
+                Err(Error::Analysis {
+                    msg: "log2 of possibly non-positive value".into(),
+                })
+            } else {
+                Ok(AbsValue::Num(i.map_monotone(f64::log2)))
+            }
+        }
+        Builtin::Ln => {
+            let i = num(0)?;
+            if i.lo <= 0.0 {
+                Err(Error::Analysis {
+                    msg: "ln of possibly non-positive value".into(),
+                })
+            } else {
+                Ok(AbsValue::Num(i.map_monotone(f64::ln)))
+            }
+        }
+        Builtin::Exp => Ok(AbsValue::Num(num(0)?.map_monotone(f64::exp))),
+        Builtin::Pow => {
+            let base = num(0)?;
+            let exp = num(1)?;
+            if !exp.is_point() {
+                return Err(Error::Analysis {
+                    msg: "pow with interval exponent is not supported".into(),
+                });
+            }
+            let e = exp.lo;
+            if base.lo < 0.0 {
+                return Err(Error::Analysis {
+                    msg: "pow with possibly negative base is not supported".into(),
+                });
+            }
+            if e >= 0.0 {
+                Ok(AbsValue::Num(base.map_monotone(|x| x.powf(e))))
+            } else {
+                if base.contains(0.0) {
+                    return Err(Error::Analysis {
+                        msg: "pow with negative exponent and base possibly zero".into(),
+                    });
+                }
+                Ok(AbsValue::Num(Interval::new(
+                    base.hi.powf(e),
+                    base.lo.powf(e),
+                )))
+            }
+        }
+        Builtin::Joules => Ok(AbsValue::Energy(AbsEnergy::from_joules(num(0)?))),
+        Builtin::Clamp => {
+            let x = num(0)?;
+            let lo = num(1)?;
+            let hi = num(2)?;
+            Ok(AbsValue::Num(Interval::new(
+                x.lo.clamp(lo.lo, hi.hi),
+                x.hi.clamp(lo.lo, hi.hi),
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 3.0);
+        assert_eq!(a.add(&b), Interval::new(0.0, 5.0));
+        assert_eq!(a.sub(&b), Interval::new(-2.0, 3.0));
+        assert_eq!(a.mul(&b), Interval::new(-2.0, 6.0));
+        assert!(a.div(&b).is_err());
+        assert_eq!(
+            a.div(&Interval::new(2.0, 4.0)).unwrap(),
+            Interval::new(0.25, 1.0)
+        );
+        assert_eq!(a.join(&b), Interval::new(-1.0, 3.0));
+        assert!(Interval::point(2.0).is_point());
+    }
+
+    #[test]
+    fn absbool_logic() {
+        use AbsBool::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+    }
+
+    #[test]
+    fn straight_line_energy_is_point() {
+        let iface = parse(
+            "interface s { fn f(n) { return 2 mJ * n + 1 J; } }",
+        )
+        .unwrap();
+        let out = abstract_eval(
+            &iface,
+            "f",
+            &[AbsValue::Num(Interval::new(0.0, 100.0))],
+        )
+        .unwrap();
+        let e = out.as_energy().unwrap();
+        assert!((e.joules.lo - 1.0).abs() < 1e-12);
+        assert!((e.joules.hi - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_branch_joins() {
+        let iface = parse(
+            r#"interface s {
+                ecv hit: bernoulli(0.5);
+                fn f() {
+                    if ecv(hit) { return 1 J; } else { return 3 J; }
+                }
+            }"#,
+        )
+        .unwrap();
+        let out = abstract_eval(&iface, "f", &[]).unwrap();
+        let e = out.as_energy().unwrap();
+        assert_eq!(e.joules, Interval::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn degenerate_bernoulli_prunes_branch() {
+        let iface = parse(
+            r#"interface s {
+                ecv hit: bernoulli(1);
+                fn f() {
+                    if ecv(hit) { return 1 J; } else { return 3 J; }
+                }
+            }"#,
+        )
+        .unwrap();
+        let out = abstract_eval(&iface, "f", &[]).unwrap();
+        assert_eq!(out.as_energy().unwrap().joules, Interval::point(1.0));
+    }
+
+    #[test]
+    fn for_loop_accumulates_bounds() {
+        let iface = parse(
+            r#"interface s {
+                fn f(n) {
+                    let acc = 0 J;
+                    for i in 0..n { acc = acc + 2 mJ; }
+                    return acc;
+                }
+            }"#,
+        )
+        .unwrap();
+        let out =
+            abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(3.0, 5.0))]).unwrap();
+        let e = out.as_energy().unwrap();
+        assert!((e.joules.lo - 0.006).abs() < 1e-12, "lo={}", e.joules.lo);
+        assert!((e.joules.hi - 0.010).abs() < 1e-12, "hi={}", e.joules.hi);
+    }
+
+    #[test]
+    fn for_loop_unroll_limit() {
+        let iface = parse(
+            r#"interface s {
+                fn f() {
+                    let acc = 0 J;
+                    for i in 0..1000000 { acc = acc + 1 mJ; }
+                    return acc;
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            abstract_eval(&iface, "f", &[]),
+            Err(Error::Analysis { .. })
+        ));
+    }
+
+    #[test]
+    fn while_loop_with_sound_bound() {
+        let iface = parse(
+            r#"interface s {
+                fn f() {
+                    let i = 0;
+                    let acc = 0 J;
+                    while i < 5 bound 10 {
+                        i = i + 1;
+                        acc = acc + 1 J;
+                    }
+                    return acc;
+                }
+            }"#,
+        )
+        .unwrap();
+        let out = abstract_eval(&iface, "f", &[]).unwrap();
+        // The analysis joins exit states for every plausible exit point, so
+        // the bound must cover [0 J, 5 J]; crucially hi == 5.
+        let e = out.as_energy().unwrap();
+        assert_eq!(e.joules.hi, 5.0);
+    }
+
+    #[test]
+    fn while_loop_possibly_unbounded_rejected() {
+        let iface = parse(
+            r#"interface s {
+                fn f(n) {
+                    let i = 0;
+                    while i < n bound 4 { i = i + 1; }
+                    return 1 J;
+                }
+            }"#,
+        )
+        .unwrap();
+        let r = abstract_eval(
+            &iface,
+            "f",
+            &[AbsValue::Num(Interval::new(0.0, 100.0))],
+        );
+        assert!(matches!(r, Err(Error::Analysis { .. })));
+    }
+
+    #[test]
+    fn calls_compose_intervals() {
+        let iface = parse(
+            r#"interface s {
+                fn leaf(x) { return 3 mJ * x; }
+                fn f(n) { return leaf(n) + leaf(2 * n); }
+            }"#,
+        )
+        .unwrap();
+        let out =
+            abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(1.0, 2.0))]).unwrap();
+        let e = out.as_energy().unwrap();
+        assert!((e.joules.lo - 0.009).abs() < 1e-12);
+        assert!((e.joules.hi - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlinked_extern_rejected() {
+        let iface = parse(
+            "interface s { extern fn hw(x); fn f(x) { return hw(x); } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            abstract_eval(&iface, "f", &[AbsValue::Num(Interval::point(1.0))]),
+            Err(Error::Link { .. })
+        ));
+    }
+
+    #[test]
+    fn abstract_inputs_from_spec() {
+        let iface = parse(
+            "interface s { fn f(n, req) { return 1 mJ * n + 1 mJ * req.size; } }",
+        )
+        .unwrap();
+        let spec = InputSpec::new()
+            .range("n", 0.0, 10.0)
+            .range("req.size", 1.0, 64.0);
+        let args = abstract_inputs(&iface, "f", &spec).unwrap();
+        assert_eq!(args.len(), 2);
+        assert_eq!(args[0], AbsValue::Num(Interval::new(0.0, 10.0)));
+        match &args[1] {
+            AbsValue::Record(fields) => {
+                assert_eq!(fields["size"], AbsValue::Num(Interval::new(1.0, 64.0)));
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+        let bad = InputSpec::new().range("n", 0.0, 10.0);
+        assert!(abstract_inputs(&iface, "f", &bad).is_err());
+    }
+
+    #[test]
+    fn ecv_abstract_values() {
+        assert_eq!(
+            ecv_abs_value(&DistSpec::Bernoulli { p: 0.5 }),
+            AbsValue::Bool(AbsBool::Unknown)
+        );
+        assert_eq!(
+            ecv_abs_value(&DistSpec::Discrete {
+                outcomes: vec![(1.0, 0.5), (4.0, 0.5), (99.0, 0.0)]
+            }),
+            AbsValue::Num(Interval::new(1.0, 4.0))
+        );
+        assert_eq!(
+            ecv_abs_value(&DistSpec::Point { value: 7.0 }),
+            AbsValue::Num(Interval::point(7.0))
+        );
+    }
+
+    #[test]
+    fn upper_bound_with_calibration() {
+        let mut e = AbsEnergy::from_joules(Interval::new(1.0, 2.0));
+        e.abstracts
+            .insert("relu".into(), Interval::new(0.0, 4.0));
+        let cal = Calibration::from_pairs([("relu", Energy::millijoules(10.0))]);
+        assert!((e.upper_bound(&cal).unwrap().as_joules() - 2.04).abs() < 1e-12);
+        assert!((e.lower_bound(&cal).unwrap().as_joules() - 1.0).abs() < 1e-12);
+        assert!(e.upper_bound(&Calibration::empty()).is_err());
+    }
+
+    #[test]
+    fn branch_local_variables_dropped_at_join() {
+        let iface = parse(
+            r#"interface s {
+                ecv hit: bernoulli(0.5);
+                fn f() {
+                    if ecv(hit) { let x = 1; } else { }
+                    return 1 J;
+                }
+            }"#,
+        )
+        .unwrap();
+        // `x` is branch-local and unused afterwards: fine.
+        assert!(abstract_eval(&iface, "f", &[]).is_ok());
+    }
+}

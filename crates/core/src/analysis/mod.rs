@@ -1,0 +1,14 @@
+//! Analyses over energy interfaces: the toolchain of §4.
+//!
+//! - [`interval`]: sound interval abstract interpretation (the engine).
+//! - [`worst_case`]: upper/lower energy bounds over declared input spaces.
+//! - [`paths`]: per-path enumeration over ECV outcomes (§4.2).
+//! - [`constant_energy`]: side-channel freedom checking (§4.1).
+//! - [`compat`]: envelope compatibility between spec and implementation
+//!   interfaces (§4.1).
+
+pub mod compat;
+pub mod constant_energy;
+pub mod interval;
+pub mod paths;
+pub mod worst_case;

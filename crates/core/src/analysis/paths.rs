@@ -1,0 +1,233 @@
+//! Path enumeration over ECV outcomes.
+//!
+//! §4.2 calls for "a combination of per-path analysis (e.g., using symbolic
+//! execution) with side-effects analysis". For a concrete input, an
+//! interface's control flow is determined by the ECV assignment, so
+//! enumerating the finite ECV space enumerates the interface's paths; each
+//! path carries its probability and energy. This is the machine-readable
+//! version of what a developer does when reading Fig. 1: "if the request
+//! hits the cache, energy is X with probability p; otherwise Y".
+
+use std::collections::BTreeMap;
+
+use crate::ecv::{EcvEnv, EcvValue};
+use crate::error::Result;
+use crate::interp::{eval_with_assignment, EvalConfig};
+use crate::interface::Interface;
+use crate::units::Energy;
+use crate::value::Value;
+
+/// One enumerated path: the ECV observations that select it, its
+/// probability, and the energy consumed along it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathOutcome {
+    /// The ECV assignment that drives this path.
+    pub assignment: BTreeMap<String, EcvValue>,
+    /// Probability of the assignment.
+    pub probability: f64,
+    /// Energy consumed on this path (calibrated Joules).
+    pub energy: Energy,
+}
+
+/// The full path profile of one invocation.
+#[derive(Debug, Clone)]
+pub struct PathProfile {
+    /// All enumerated paths, sorted by descending probability.
+    pub paths: Vec<PathOutcome>,
+}
+
+impl PathProfile {
+    /// The expected energy across paths.
+    pub fn expected_energy(&self) -> Energy {
+        Energy(
+            self.paths
+                .iter()
+                .map(|p| p.probability * p.energy.as_joules())
+                .sum(),
+        )
+    }
+
+    /// The worst-case (most expensive) path.
+    pub fn worst(&self) -> Option<&PathOutcome> {
+        self.paths
+            .iter()
+            .max_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The best-case (cheapest) path.
+    pub fn best(&self) -> Option<&PathOutcome> {
+        self.paths
+            .iter()
+            .min_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Number of distinct energy outcomes (paths with equal energy merged).
+    pub fn distinct_energies(&self, tolerance: Energy) -> usize {
+        let mut es: Vec<f64> = self.paths.iter().map(|p| p.energy.as_joules()).collect();
+        es.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut count = 0;
+        let mut last = f64::NEG_INFINITY;
+        for e in es {
+            if (e - last).abs() > tolerance.as_joules() {
+                count += 1;
+                last = e;
+            }
+        }
+        count
+    }
+
+    /// Renders a human-readable path table (one line per path).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.paths {
+            let conds: Vec<String> = p
+                .assignment
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!(
+                "p={:.4}  E={}  [{}]\n",
+                p.probability,
+                p.energy,
+                conds.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Enumerates every ECV-selected path of `iface.func(args)`.
+///
+/// All unpinned ECVs must have finite support (Bernoulli/Discrete/Point);
+/// pin continuous ECVs in `env` first. `limit` caps the assignment space.
+pub fn enumerate_paths(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    env: &EcvEnv,
+    limit: usize,
+    config: &EvalConfig,
+) -> Result<PathProfile> {
+    let assignments = env.enumerate_assignments(limit)?;
+    let mut paths = Vec::with_capacity(assignments.len());
+    for (assignment, probability) in assignments {
+        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        let energy = v.into_energy()?.calibrate(&config.calibration)?;
+        paths.push(PathOutcome {
+            assignment,
+            probability,
+            energy,
+        });
+    }
+    paths.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(PathProfile { paths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn iface() -> Interface {
+        parse(
+            r#"interface svc {
+                ecv request_hit: bernoulli(0.25) "request found in cache";
+                ecv local_hit: bernoulli(0.8) "cache hit in current node";
+                fn handle(len) {
+                    if ecv(request_hit) {
+                        if ecv(local_hit) { return 5 mJ * len; }
+                        else { return 100 mJ * len; }
+                    } else {
+                        return 2 J;
+                    }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_all_paths_with_probabilities() {
+        let i = iface();
+        let env = i.ecv_env();
+        let profile = enumerate_paths(
+            &i,
+            "handle",
+            &[Value::Num(10.0)],
+            &env,
+            100,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(profile.paths.len(), 4);
+        let total: f64 = profile.paths.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Highest-probability path first: miss (0.75 * anything).
+        assert!(profile.paths[0].probability >= profile.paths[1].probability);
+    }
+
+    #[test]
+    fn expected_worst_best() {
+        let i = iface();
+        let env = i.ecv_env();
+        let profile = enumerate_paths(
+            &i,
+            "handle",
+            &[Value::Num(10.0)],
+            &env,
+            100,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        let expect = 0.25 * (0.8 * 0.05 + 0.2 * 1.0) + 0.75 * 2.0;
+        assert!((profile.expected_energy().as_joules() - expect).abs() < 1e-9);
+        assert_eq!(profile.worst().unwrap().energy.as_joules(), 2.0);
+        assert!((profile.best().unwrap().energy.as_joules() - 0.05).abs() < 1e-12);
+        // Four assignments, but `local_hit` is dead on the miss path, so the
+        // two miss assignments produce the same 2 J outcome: 3 distinct.
+        assert_eq!(profile.distinct_energies(Energy::nanojoules(1.0)), 3);
+    }
+
+    #[test]
+    fn pinning_reduces_path_space() {
+        let i = iface();
+        let mut env = i.ecv_env();
+        env.pin_bool("request_hit", false);
+        let profile = enumerate_paths(
+            &i,
+            "handle",
+            &[Value::Num(10.0)],
+            &env,
+            100,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(profile.paths.len(), 2);
+        assert!(profile
+            .paths
+            .iter()
+            .all(|p| p.energy.as_joules() == 2.0));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let i = iface();
+        let env = i.ecv_env();
+        let profile = enumerate_paths(
+            &i,
+            "handle",
+            &[Value::Num(1.0)],
+            &env,
+            100,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        let text = profile.render();
+        assert!(text.contains("request_hit=true"));
+        assert!(text.contains("p=0.6000") || text.contains("p=0.7500"));
+    }
+}

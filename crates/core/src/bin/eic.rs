@@ -1,0 +1,200 @@
+//! `eic` — the energy-interface compiler/runner CLI.
+//!
+//! ```text
+//! eic check  <file.eil>                      parse + validate
+//! eic fmt    <file.eil>                      pretty-print to stdout
+//! eic eval   <file.eil> <fn> [k=v...]        evaluate (exact or Monte Carlo)
+//! eic paths  <file.eil> <fn> [k=v...]        per-path energies and probabilities
+//! eic bound  <file.eil> <fn> [k=lo..hi...]   sound worst-case bound
+//! ```
+//!
+//! Scalar arguments are `name=3.5`; record fields are `req.size=64` (grouped
+//! into a record per prefix). `--seed N` and `--samples N` tune Monte Carlo;
+//! `--cal unit=joules` calibrates an abstract unit (repeatable).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ei_core::analysis::paths::enumerate_paths;
+use ei_core::analysis::worst_case::worst_case;
+use ei_core::ecv::EcvEnv;
+use ei_core::interp::{enumerate_exact, monte_carlo, EvalConfig};
+use ei_core::interface::{Interface, InputSpec};
+use ei_core::parser::parse;
+use ei_core::pretty::print_interface;
+use ei_core::units::Calibration;
+use ei_core::value::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("eic: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "check" => {
+            let iface = load(args.get(1).ok_or_else(usage)?)?;
+            println!(
+                "ok: interface `{}` — {} function(s), {} ECV(s), {} unit(s), {} extern(s)",
+                iface.name,
+                iface.fns.len(),
+                iface.ecvs.len(),
+                iface.units.len(),
+                iface.externs.len()
+            );
+            Ok(())
+        }
+        "fmt" => {
+            let iface = load(args.get(1).ok_or_else(usage)?)?;
+            print!("{}", print_interface(&iface));
+            Ok(())
+        }
+        "eval" => {
+            let iface = load(args.get(1).ok_or_else(usage)?)?;
+            let func = args.get(2).ok_or_else(usage)?;
+            let (vals, seed, samples, cal) = parse_args(&iface, func, &args[3..])?;
+            let env = EcvEnv::from_decls(&iface.ecvs);
+            let mut cfg = EvalConfig::default();
+            cfg.calibration = cal;
+            let dist = match enumerate_exact(&iface, func, &vals, &env, 4096, &cfg) {
+                Ok(d) => d,
+                Err(ei_core::Error::Analysis { .. }) => {
+                    monte_carlo(&iface, func, &vals, &env, samples, seed, &cfg)
+                        .map_err(|e| e.to_string())?
+                }
+                Err(e) => return Err(e.to_string()),
+            };
+            println!("expected : {}", dist.mean());
+            println!("min..max : {} .. {}", dist.min(), dist.max());
+            println!("p5..p95  : {} .. {}", dist.quantile(0.05), dist.quantile(0.95));
+            Ok(())
+        }
+        "paths" => {
+            let iface = load(args.get(1).ok_or_else(usage)?)?;
+            let func = args.get(2).ok_or_else(usage)?;
+            let (vals, _, _, cal) = parse_args(&iface, func, &args[3..])?;
+            let env = EcvEnv::from_decls(&iface.ecvs);
+            let mut cfg = EvalConfig::default();
+            cfg.calibration = cal;
+            let profile = enumerate_paths(&iface, func, &vals, &env, 4096, &cfg)
+                .map_err(|e| e.to_string())?;
+            print!("{}", profile.render());
+            println!("expected: {}", profile.expected_energy());
+            Ok(())
+        }
+        "bound" => {
+            let iface = load(args.get(1).ok_or_else(usage)?)?;
+            let func = args.get(2).ok_or_else(usage)?;
+            let mut spec = InputSpec::new();
+            for a in &args[3..] {
+                let (path, range) = a
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected k=lo..hi, got `{a}`"))?;
+                let (lo, hi) = range
+                    .split_once("..")
+                    .ok_or_else(|| format!("expected lo..hi in `{a}`"))?;
+                let lo: f64 = lo.parse().map_err(|_| format!("bad number in `{a}`"))?;
+                let hi: f64 = hi.parse().map_err(|_| format!("bad number in `{a}`"))?;
+                if lo > hi {
+                    return Err(format!("empty range in `{a}`: {lo} > {hi}"));
+                }
+                spec = spec.range(path, lo, hi);
+            }
+            let bound = worst_case(&iface, func, &spec, &Calibration::empty())
+                .map_err(|e| e.to_string())?;
+            println!("worst-case bound: {} .. {}", bound.lower, bound.upper);
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn load(path: &str) -> Result<Interface, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses `k=v` / `rec.field=v` argument bindings against `func`'s
+/// parameter list, plus the `--seed` / `--samples` flags.
+fn parse_args(
+    iface: &Interface,
+    func: &str,
+    raw: &[String],
+) -> Result<(Vec<Value>, u64, usize, Calibration), String> {
+    let f = iface.get_fn(func).map_err(|e| e.to_string())?;
+    let mut scalars: BTreeMap<String, f64> = BTreeMap::new();
+    let mut records: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut seed = 0u64;
+    let mut samples = 10_000usize;
+    let mut cal = Calibration::empty();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("--seed needs a number")?;
+            continue;
+        }
+        if a == "--samples" {
+            samples = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or("--samples needs a number")?;
+            continue;
+        }
+        if a == "--cal" {
+            let spec = it.next().ok_or("--cal needs unit=joules")?;
+            let (unit, j) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("--cal expects unit=joules, got `{spec}`"))?;
+            let j: f64 = j.parse().map_err(|_| format!("bad number in `{spec}`"))?;
+            cal.set(unit, ei_core::units::Energy::joules(j));
+            continue;
+        }
+        let (key, v) = a
+            .split_once('=')
+            .ok_or_else(|| format!("expected k=v, got `{a}`"))?;
+        let v: f64 = v.parse().map_err(|_| format!("bad number in `{a}`"))?;
+        match key.split_once('.') {
+            Some((rec, field)) => {
+                records
+                    .entry(rec.to_string())
+                    .or_default()
+                    .insert(field.to_string(), v);
+            }
+            None => {
+                scalars.insert(key.to_string(), v);
+            }
+        }
+    }
+    let mut vals = Vec::new();
+    for p in &f.params {
+        if let Some(v) = scalars.get(p) {
+            vals.push(Value::Num(*v));
+        } else if let Some(fields) = records.get(p) {
+            vals.push(Value::num_record(
+                fields.iter().map(|(k, v)| (k.clone(), *v)),
+            ));
+        } else {
+            return Err(format!("missing argument for parameter `{p}` of `{func}`"));
+        }
+    }
+    Ok((vals, seed, samples, cal))
+}
+
+fn usage() -> String {
+    "usage: eic <check|fmt|eval|paths|bound> <file.eil> [fn] [args...]\n\
+     \x20 eval/paths args:  name=3.5  req.size=64  [--seed N] [--samples N] [--cal unit=J]\n\
+     \x20 bound args:       name=lo..hi  req.size=lo..hi"
+        .to_string()
+}

@@ -1,0 +1,136 @@
+//! Error types for the EIL language, interpreter, and analyses.
+
+use std::fmt;
+
+/// Any error produced while parsing, linking, evaluating, or analysing an
+/// energy interface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A lexical error at a source position.
+    Lex { line: u32, col: u32, msg: String },
+    /// A syntax error at a source position.
+    Parse { line: u32, col: u32, msg: String },
+    /// A name (function, variable, ECV, unit) could not be resolved.
+    Unresolved { kind: NameKind, name: String },
+    /// A name was defined more than once.
+    Duplicate { kind: NameKind, name: String },
+    /// A call had the wrong number of arguments.
+    Arity {
+        func: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A runtime type mismatch (e.g. adding a boolean to an energy value).
+    Type { expected: &'static str, got: String },
+    /// The interpreter exhausted its fuel budget.
+    FuelExhausted { limit: u64 },
+    /// Call depth exceeded the interpreter's stack limit.
+    StackOverflow { limit: usize },
+    /// A `while` loop exceeded its declared bound.
+    BoundExceeded { bound: u64 },
+    /// Division by zero (or modulo by zero) during evaluation.
+    DivisionByZero,
+    /// A numeric result was not finite (overflow, NaN).
+    NonFinite { context: String },
+    /// An abstract unit had no calibration when one was required.
+    Uncalibrated { unit: String },
+    /// An ECV declaration or distribution parameter was invalid.
+    BadDistribution { name: String, msg: String },
+    /// An analysis could not proceed (e.g. a loop bound too large to unroll).
+    Analysis { msg: String },
+    /// A compatibility check failed; carries a human-readable explanation.
+    Incompatible { msg: String },
+    /// Linking failed (arity mismatch between extern and provider, etc.).
+    Link { msg: String },
+    /// An interface input did not match the function's input schema.
+    BadInput { msg: String },
+}
+
+/// The kind of name involved in a resolution or duplication error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameKind {
+    /// A function defined in or linked into an interface.
+    Function,
+    /// A local variable or parameter.
+    Variable,
+    /// An energy-critical variable.
+    Ecv,
+    /// An abstract energy unit.
+    Unit,
+    /// A record field.
+    Field,
+    /// An interface registered in a registry or stack.
+    Interface,
+}
+
+impl fmt::Display for NameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NameKind::Function => "function",
+            NameKind::Variable => "variable",
+            NameKind::Ecv => "ECV",
+            NameKind::Unit => "unit",
+            NameKind::Field => "field",
+            NameKind::Interface => "interface",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, col, msg } => {
+                write!(f, "lex error at {line}:{col}: {msg}")
+            }
+            Error::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            Error::Unresolved { kind, name } => {
+                write!(f, "unresolved {kind} `{name}`")
+            }
+            Error::Duplicate { kind, name } => {
+                write!(f, "duplicate {kind} `{name}`")
+            }
+            Error::Arity {
+                func,
+                expected,
+                got,
+            } => write!(
+                f,
+                "function `{func}` expects {expected} argument(s), got {got}"
+            ),
+            Error::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            Error::FuelExhausted { limit } => {
+                write!(f, "evaluation exceeded fuel budget of {limit} steps")
+            }
+            Error::StackOverflow { limit } => {
+                write!(f, "call depth exceeded limit of {limit}")
+            }
+            Error::BoundExceeded { bound } => {
+                write!(f, "while loop exceeded declared bound {bound}")
+            }
+            Error::DivisionByZero => f.write_str("division by zero"),
+            Error::NonFinite { context } => {
+                write!(f, "non-finite numeric result in {context}")
+            }
+            Error::Uncalibrated { unit } => {
+                write!(f, "abstract unit `{unit}` has no Joule calibration")
+            }
+            Error::BadDistribution { name, msg } => {
+                write!(f, "invalid distribution for `{name}`: {msg}")
+            }
+            Error::Analysis { msg } => write!(f, "analysis error: {msg}"),
+            Error::Incompatible { msg } => write!(f, "incompatible: {msg}"),
+            Error::Link { msg } => write!(f, "link error: {msg}"),
+            Error::BadInput { msg } => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

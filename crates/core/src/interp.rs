@@ -1,0 +1,1114 @@
+//! The EIL interpreter.
+//!
+//! "A resource manager can execute the interface to know a priori the energy
+//! that the resource would consume if run with a particular workload" (§2).
+//! This module is that execution engine: a deterministic tree-walking
+//! evaluator with an explicit fuel budget (so any interface terminates), plus
+//! a Monte-Carlo driver and an exact enumerator that turn ECV-reading
+//! interfaces into [`EnergyDist`]s.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ast::{BinOp, Builtin, Expr, FnDef, Stmt, UnOp};
+use crate::dist::EnergyDist;
+use crate::ecv::{EcvEnv, EcvValue};
+use crate::error::{Error, NameKind, Result};
+use crate::interface::Interface;
+use crate::units::{Calibration, Energy, EnergyVec};
+use crate::value::Value;
+
+/// Default fuel budget: enough for hundreds of thousands of statements.
+pub const DEFAULT_FUEL: u64 = 10_000_000;
+
+/// Default maximum call depth.
+///
+/// Energy interfaces are shallow by construction (one level per layer of the
+/// system stack), and the tree-walking evaluator uses several host stack
+/// frames per EIL call, so the default is deliberately conservative.
+pub const DEFAULT_MAX_DEPTH: usize = 64;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Maximum number of evaluation steps before aborting.
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+    /// Calibration applied when reducing results to Joules.
+    pub calibration: Calibration,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            fuel: DEFAULT_FUEL,
+            max_depth: DEFAULT_MAX_DEPTH,
+            calibration: Calibration::empty(),
+        }
+    }
+}
+
+/// A single deterministic evaluation context.
+struct Eval<'a> {
+    iface: &'a Interface,
+    ecvs: &'a BTreeMap<String, EcvValue>,
+    fuel: u64,
+    fuel_limit: u64,
+    max_depth: usize,
+}
+
+/// Result of a statement block: either fall-through or an early return.
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+impl<'a> Eval<'a> {
+    fn burn(&mut self) -> Result<()> {
+        if self.fuel == 0 {
+            return Err(Error::FuelExhausted {
+                limit: self.fuel_limit,
+            });
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: Vec<Value>, depth: usize) -> Result<Value> {
+        if depth > self.max_depth {
+            return Err(Error::StackOverflow {
+                limit: self.max_depth,
+            });
+        }
+        if let Some(f) = self.iface.fns.get(name) {
+            return self.call_fn(f, args, depth);
+        }
+        if let Some(b) = Builtin::from_name(name) {
+            return eval_builtin(b, &args);
+        }
+        if self.iface.externs.contains_key(name) {
+            return Err(Error::Link {
+                msg: format!(
+                    "extern `{name}` is not linked; compose this interface with a provider first"
+                ),
+            });
+        }
+        Err(Error::Unresolved {
+            kind: NameKind::Function,
+            name: name.to_string(),
+        })
+    }
+
+    fn call_fn(&mut self, f: &'a FnDef, args: Vec<Value>, depth: usize) -> Result<Value> {
+        if f.params.len() != args.len() {
+            return Err(Error::Arity {
+                func: f.name.clone(),
+                expected: f.params.len(),
+                got: args.len(),
+            });
+        }
+        let mut locals: BTreeMap<String, Value> =
+            f.params.iter().cloned().zip(args).collect();
+        match self.block(&f.body, &mut locals, depth)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Err(Error::Type {
+                expected: "a return value",
+                got: format!("function `{}` fell off the end", f.name),
+            }),
+        }
+    }
+
+    fn block(
+        &mut self,
+        stmts: &'a [Stmt],
+        locals: &mut BTreeMap<String, Value>,
+        depth: usize,
+    ) -> Result<Flow> {
+        for s in stmts {
+            self.burn()?;
+            match s {
+                Stmt::Let(name, e) => {
+                    let v = self.expr(e, locals, depth)?;
+                    locals.insert(name.clone(), v);
+                }
+                Stmt::Assign(name, e) => {
+                    if !locals.contains_key(name) {
+                        return Err(Error::Unresolved {
+                            kind: NameKind::Variable,
+                            name: name.clone(),
+                        });
+                    }
+                    let v = self.expr(e, locals, depth)?;
+                    locals.insert(name.clone(), v);
+                }
+                Stmt::If(cond, then_b, else_b) => {
+                    let c = self.expr(cond, locals, depth)?.as_bool()?;
+                    let branch = if c { then_b } else { else_b };
+                    if let Flow::Return(v) = self.block(branch, locals, depth)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let from = self.expr(from, locals, depth)?.as_num()?;
+                    let to = self.expr(to, locals, depth)?.as_num()?;
+                    if !from.is_finite() || !to.is_finite() {
+                        return Err(Error::NonFinite {
+                            context: "for-loop bounds".into(),
+                        });
+                    }
+                    let mut i = from.floor();
+                    while i < to {
+                        self.burn()?;
+                        locals.insert(var.clone(), Value::Num(i));
+                        if let Flow::Return(v) = self.block(body, locals, depth)? {
+                            return Ok(Flow::Return(v));
+                        }
+                        i += 1.0;
+                    }
+                }
+                Stmt::While { cond, bound, body } => {
+                    let mut trips: u64 = 0;
+                    while self.expr(cond, locals, depth)?.as_bool()? {
+                        if trips >= *bound {
+                            return Err(Error::BoundExceeded { bound: *bound });
+                        }
+                        trips += 1;
+                        self.burn()?;
+                        if let Flow::Return(v) = self.block(body, locals, depth)? {
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                }
+                Stmt::Return(e) => {
+                    let v = self.expr(e, locals, depth)?;
+                    return Ok(Flow::Return(v));
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn expr(
+        &mut self,
+        e: &'a Expr,
+        locals: &BTreeMap<String, Value>,
+        depth: usize,
+    ) -> Result<Value> {
+        self.burn()?;
+        match e {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Joules(j) => Ok(Value::joules(*j)),
+            Expr::Unit(u, k) => Ok(Value::Energy(EnergyVec::from_unit(u.clone(), *k))),
+            Expr::Var(name) => locals.get(name).cloned().ok_or_else(|| Error::Unresolved {
+                kind: NameKind::Variable,
+                name: name.clone(),
+            }),
+            Expr::Field(base, name) => {
+                let b = self.expr(base, locals, depth)?;
+                Ok(b.field(name)?.clone())
+            }
+            Expr::Ecv(name) => {
+                let v = self.ecvs.get(name).ok_or_else(|| Error::Unresolved {
+                    kind: NameKind::Ecv,
+                    name: name.clone(),
+                })?;
+                Ok(match v {
+                    EcvValue::Bool(b) => Value::Bool(*b),
+                    EcvValue::Num(n) => Value::Num(*n),
+                })
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.expr(inner, locals, depth)?;
+                eval_unary(*op, v)
+            }
+            Expr::Binary(op, a, b) => {
+                // Short-circuit logical operators before evaluating `b`.
+                match op {
+                    BinOp::And => {
+                        let av = self.expr(a, locals, depth)?.as_bool()?;
+                        if !av {
+                            return Ok(Value::Bool(false));
+                        }
+                        return Ok(Value::Bool(self.expr(b, locals, depth)?.as_bool()?));
+                    }
+                    BinOp::Or => {
+                        let av = self.expr(a, locals, depth)?.as_bool()?;
+                        if av {
+                            return Ok(Value::Bool(true));
+                        }
+                        return Ok(Value::Bool(self.expr(b, locals, depth)?.as_bool()?));
+                    }
+                    _ => {}
+                }
+                let av = self.expr(a, locals, depth)?;
+                let bv = self.expr(b, locals, depth)?;
+                eval_binary(*op, av, bv)
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals, depth)?);
+                }
+                self.call(name, vals, depth + 1)
+            }
+            Expr::BuiltinCall(b, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals, depth)?);
+                }
+                eval_builtin(*b, &vals)
+            }
+            Expr::IfExpr(c, t, f) => {
+                let cv = self.expr(c, locals, depth)?.as_bool()?;
+                if cv {
+                    self.expr(t, locals, depth)
+                } else {
+                    self.expr(f, locals, depth)
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a unary operation.
+fn eval_unary(op: UnOp, v: Value) -> Result<Value> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Num(n) => Ok(Value::Num(-n)),
+            Value::Energy(e) => Ok(Value::Energy(e.scaled(-1.0))),
+            other => Err(Error::Type {
+                expected: "number or energy",
+                got: other.type_name().into(),
+            }),
+        },
+        UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+    }
+}
+
+/// Evaluates a (non-short-circuit) binary operation with unit discipline:
+/// energy+energy, energy*number, energy/number, energy/energy→number, and
+/// plain numeric arithmetic; comparisons work on numbers, energies (concrete
+/// Joule parts compared after requiring concreteness), and booleans for
+/// equality.
+fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Add | Sub => match (a, b) {
+            (Value::Num(x), Value::Num(y)) => Ok(Value::Num(if op == Add {
+                x + y
+            } else {
+                x - y
+            })),
+            (Value::Energy(x), Value::Energy(y)) => Ok(Value::Energy(if op == Add {
+                x.plus(&y)
+            } else {
+                x.minus(&y)
+            })),
+            (a, b) => Err(Error::Type {
+                expected: "matching operand types for +/-",
+                got: format!("{} and {}", a.type_name(), b.type_name()),
+            }),
+        },
+        Mul => match (a, b) {
+            (Value::Num(x), Value::Num(y)) => Ok(Value::Num(x * y)),
+            (Value::Energy(e), Value::Num(k)) | (Value::Num(k), Value::Energy(e)) => {
+                Ok(Value::Energy(e.scaled(k)))
+            }
+            (a, b) => Err(Error::Type {
+                expected: "number*number or energy*number",
+                got: format!("{} and {}", a.type_name(), b.type_name()),
+            }),
+        },
+        Div => match (a, b) {
+            (Value::Num(x), Value::Num(y)) => {
+                if y == 0.0 {
+                    Err(Error::DivisionByZero)
+                } else {
+                    Ok(Value::Num(x / y))
+                }
+            }
+            (Value::Energy(e), Value::Num(k)) => {
+                if k == 0.0 {
+                    Err(Error::DivisionByZero)
+                } else {
+                    Ok(Value::Energy(e.scaled(1.0 / k)))
+                }
+            }
+            (Value::Energy(x), Value::Energy(y)) => {
+                let xj = x.to_energy().map_err(|_| Error::Type {
+                    expected: "concrete energies for energy/energy",
+                    got: "abstract energy".into(),
+                })?;
+                let yj = y.to_energy().map_err(|_| Error::Type {
+                    expected: "concrete energies for energy/energy",
+                    got: "abstract energy".into(),
+                })?;
+                if yj.as_joules() == 0.0 {
+                    Err(Error::DivisionByZero)
+                } else {
+                    Ok(Value::Num(xj / yj))
+                }
+            }
+            (a, b) => Err(Error::Type {
+                expected: "number/number, energy/number, or energy/energy",
+                got: format!("{} and {}", a.type_name(), b.type_name()),
+            }),
+        },
+        Mod => {
+            let x = a.as_num()?;
+            let y = b.as_num()?;
+            if y == 0.0 {
+                Err(Error::DivisionByZero)
+            } else {
+                Ok(Value::Num(x.rem_euclid(y)))
+            }
+        }
+        Eq | Ne => {
+            let eq = values_equal(&a, &b)?;
+            Ok(Value::Bool(if op == Eq { eq } else { !eq }))
+        }
+        Lt | Le | Gt | Ge => {
+            let (x, y) = comparable_pair(a, b)?;
+            let r = match op {
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                _ => unreachable!("comparison op"),
+            };
+            Ok(Value::Bool(r))
+        }
+        And | Or => unreachable!("logical ops are short-circuited in Eval::expr"),
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> Result<bool> {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => Ok(x == y),
+        (Value::Bool(x), Value::Bool(y)) => Ok(x == y),
+        (Value::Energy(x), Value::Energy(y)) => Ok(x == y),
+        _ => Err(Error::Type {
+            expected: "matching operand types for ==",
+            got: format!("{} and {}", a.type_name(), b.type_name()),
+        }),
+    }
+}
+
+fn comparable_pair(a: Value, b: Value) -> Result<(f64, f64)> {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => Ok((x, y)),
+        (Value::Energy(x), Value::Energy(y)) => {
+            let xe = x.to_energy().map_err(|_| Error::Type {
+                expected: "concrete energies for comparison",
+                got: "abstract energy".into(),
+            })?;
+            let ye = y.to_energy().map_err(|_| Error::Type {
+                expected: "concrete energies for comparison",
+                got: "abstract energy".into(),
+            })?;
+            Ok((xe.as_joules(), ye.as_joules()))
+        }
+        (a, b) => Err(Error::Type {
+            expected: "numbers or energies for comparison",
+            got: format!("{} and {}", a.type_name(), b.type_name()),
+        }),
+    }
+}
+
+/// Evaluates a builtin on already-evaluated arguments.
+pub fn eval_builtin(b: Builtin, args: &[Value]) -> Result<Value> {
+    if args.len() != b.arity() {
+        return Err(Error::Arity {
+            func: b.name().to_string(),
+            expected: b.arity(),
+            got: args.len(),
+        });
+    }
+    let num = |i: usize| args[i].as_num();
+    match b {
+        Builtin::Min | Builtin::Max => match (&args[0], &args[1]) {
+            (Value::Num(x), Value::Num(y)) => Ok(Value::Num(if b == Builtin::Min {
+                x.min(*y)
+            } else {
+                x.max(*y)
+            })),
+            (Value::Energy(x), Value::Energy(y)) => {
+                let xe = x.to_energy()?;
+                let ye = y.to_energy()?;
+                let r = if b == Builtin::Min {
+                    xe.min(ye)
+                } else {
+                    xe.max(ye)
+                };
+                Ok(Value::Energy(EnergyVec::from_energy(r)))
+            }
+            (a, c) => Err(Error::Type {
+                expected: "two numbers or two concrete energies",
+                got: format!("{} and {}", a.type_name(), c.type_name()),
+            }),
+        },
+        Builtin::Abs => Ok(Value::Num(num(0)?.abs())),
+        Builtin::Ceil => Ok(Value::Num(num(0)?.ceil())),
+        Builtin::Floor => Ok(Value::Num(num(0)?.floor())),
+        Builtin::Round => Ok(Value::Num(num(0)?.round())),
+        Builtin::Sqrt => {
+            let x = num(0)?;
+            if x < 0.0 {
+                Err(Error::NonFinite {
+                    context: "sqrt of negative".into(),
+                })
+            } else {
+                Ok(Value::Num(x.sqrt()))
+            }
+        }
+        Builtin::Log2 => {
+            let x = num(0)?;
+            if x <= 0.0 {
+                Err(Error::NonFinite {
+                    context: "log2 of non-positive".into(),
+                })
+            } else {
+                Ok(Value::Num(x.log2()))
+            }
+        }
+        Builtin::Ln => {
+            let x = num(0)?;
+            if x <= 0.0 {
+                Err(Error::NonFinite {
+                    context: "ln of non-positive".into(),
+                })
+            } else {
+                Ok(Value::Num(x.ln()))
+            }
+        }
+        Builtin::Exp => {
+            let r = num(0)?.exp();
+            if r.is_finite() {
+                Ok(Value::Num(r))
+            } else {
+                Err(Error::NonFinite {
+                    context: "exp overflow".into(),
+                })
+            }
+        }
+        Builtin::Pow => {
+            let r = num(0)?.powf(num(1)?);
+            if r.is_finite() {
+                Ok(Value::Num(r))
+            } else {
+                Err(Error::NonFinite {
+                    context: "pow overflow or domain error".into(),
+                })
+            }
+        }
+        Builtin::Joules => Ok(Value::joules(num(0)?)),
+        Builtin::Clamp => Ok(Value::Num(num(0)?.clamp(num(1)?, num(2)?))),
+    }
+}
+
+/// Evaluates `iface.func(args)` under one concrete ECV assignment.
+///
+/// This is the deterministic core: every ECV must appear in `ecvs`.
+pub fn eval_with_assignment(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    ecvs: &BTreeMap<String, EcvValue>,
+    config: &EvalConfig,
+) -> Result<Value> {
+    let mut ev = Eval {
+        iface,
+        ecvs,
+        fuel: config.fuel,
+        fuel_limit: config.fuel,
+        max_depth: config.max_depth,
+    };
+    ev.call(func, args.to_vec(), 0)
+}
+
+/// Evaluates `iface.func(args)` once, sampling unpinned ECVs with `seed`.
+///
+/// Returns the raw [`Value`]; use [`evaluate_energy`] when the result must be
+/// a concrete energy.
+pub fn evaluate(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    env: &EcvEnv,
+    seed: u64,
+    config: &EvalConfig,
+) -> Result<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assignment = env.sample_assignment(&mut rng);
+    eval_with_assignment(iface, func, args, &assignment, config)
+}
+
+/// Like [`evaluate`] but reduces the result to Joules via the configured
+/// calibration.
+pub fn evaluate_energy(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    env: &EcvEnv,
+    seed: u64,
+    config: &EvalConfig,
+) -> Result<Energy> {
+    let v = evaluate(iface, func, args, env, seed, config)?;
+    v.into_energy()?.calibrate(&config.calibration)
+}
+
+/// Monte-Carlo evaluation: `n` independent ECV samples → empirical
+/// [`EnergyDist`].
+pub fn monte_carlo(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    env: &EcvEnv,
+    n: usize,
+    seed: u64,
+    config: &EvalConfig,
+) -> Result<EnergyDist> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let assignment = env.sample_assignment(&mut rng);
+        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        samples.push(v.into_energy()?.calibrate(&config.calibration)?);
+    }
+    Ok(EnergyDist::empirical(samples))
+}
+
+/// Exact evaluation: enumerates the finite ECV space (≤ `limit` assignments)
+/// and returns the exact mixture distribution.
+pub fn enumerate_exact(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    env: &EcvEnv,
+    limit: usize,
+    config: &EvalConfig,
+) -> Result<EnergyDist> {
+    let assignments = env.enumerate_assignments(limit)?;
+    let mut outcomes = Vec::with_capacity(assignments.len());
+    for (assignment, p) in assignments {
+        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        outcomes.push((v.into_energy()?.calibrate(&config.calibration)?, p));
+    }
+    Ok(EnergyDist::mixture(outcomes))
+}
+
+/// The expected (mean) energy of `iface.func(args)`.
+///
+/// Uses exact enumeration when the ECV space is small, falling back to
+/// Monte Carlo with 4096 samples otherwise.
+pub fn expected_energy(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    config: &EvalConfig,
+) -> Result<Energy> {
+    let env = iface.ecv_env();
+    match enumerate_exact(iface, func, args, &env, 4096, config) {
+        Ok(d) => Ok(d.mean()),
+        Err(Error::Analysis { .. }) => {
+            Ok(monte_carlo(iface, func, args, &env, 4096, 0xE1, config)?.mean())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ExternDecl;
+    use crate::ecv::{DistSpec, EcvDecl};
+
+    fn cfg() -> EvalConfig {
+        EvalConfig::default()
+    }
+
+    /// Builds Fig. 1's interface programmatically (also exercised by the
+    /// parser tests with the same semantics).
+    fn fig1() -> Interface {
+        let mut i = Interface::new("ml_webservice");
+        i.add_unit("conv2d");
+        i.add_unit("relu");
+        i.add_unit("mlp");
+        i.add_ecv(
+            "request_hit",
+            EcvDecl {
+                dist: DistSpec::Bernoulli { p: 0.25 },
+                doc: "request found in cache".into(),
+            },
+        )
+        .unwrap();
+        i.add_ecv(
+            "local_cache_hit",
+            EcvDecl {
+                dist: DistSpec::Bernoulli { p: 0.8 },
+                doc: "cache hit in current node".into(),
+            },
+        )
+        .unwrap();
+
+        // fn handle(request): mirrors Fig. 1 line by line.
+        i.add_fn(FnDef::new(
+            "handle",
+            vec!["request".into()],
+            vec![
+                Stmt::Let("max_response_len".into(), Expr::Num(1024.0)),
+                Stmt::If(
+                    Expr::Ecv("request_hit".into()),
+                    vec![Stmt::Return(Expr::Call(
+                        "cache_lookup".into(),
+                        vec![
+                            Expr::input_field("request", "image_id"),
+                            Expr::var("max_response_len"),
+                        ],
+                    ))],
+                    vec![Stmt::Return(Expr::Call(
+                        "cnn_forward".into(),
+                        vec![Expr::var("request")],
+                    ))],
+                ),
+            ],
+        ))
+        .unwrap();
+        i.add_fn(FnDef::new(
+            "cache_lookup",
+            vec!["key".into(), "response_len".into()],
+            vec![Stmt::Return(Expr::bin(
+                BinOp::Mul,
+                Expr::IfExpr(
+                    Box::new(Expr::Ecv("local_cache_hit".into())),
+                    Box::new(Expr::Joules(5e-3)),
+                    Box::new(Expr::Joules(100e-3)),
+                ),
+                Expr::var("response_len"),
+            ))],
+        ))
+        .unwrap();
+        i.add_fn(FnDef::new(
+            "cnn_forward",
+            vec!["request".into()],
+            vec![
+                Stmt::Let("n_embedding".into(), Expr::Num(256.0)),
+                Stmt::Let(
+                    "nonzero".into(),
+                    Expr::bin(
+                        BinOp::Sub,
+                        Expr::input_field("request", "image_size"),
+                        Expr::input_field("request", "image_zeros"),
+                    ),
+                ),
+                Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::Num(8.0),
+                            Expr::Call("conv2d".into(), vec![Expr::var("nonzero")]),
+                        ),
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::Num(8.0),
+                            Expr::Call("relu_e".into(), vec![Expr::var("n_embedding")]),
+                        ),
+                    ),
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::Num(16.0),
+                        Expr::Call("mlp_e".into(), vec![Expr::var("n_embedding")]),
+                    ),
+                )),
+            ],
+        ))
+        .unwrap();
+        // Leaf interfaces in abstract units.
+        i.add_fn(FnDef::new(
+            "conv2d",
+            vec!["n".into()],
+            vec![Stmt::Return(Expr::bin(
+                BinOp::Mul,
+                Expr::Unit("conv2d".into(), 1.0),
+                Expr::bin(BinOp::Div, Expr::var("n"), Expr::Num(1024.0)),
+            ))],
+        ))
+        .unwrap();
+        i.add_fn(FnDef::new(
+            "relu_e",
+            vec!["n".into()],
+            vec![Stmt::Return(Expr::bin(
+                BinOp::Mul,
+                Expr::Unit("relu".into(), 1.0),
+                Expr::bin(BinOp::Div, Expr::var("n"), Expr::Num(256.0)),
+            ))],
+        ))
+        .unwrap();
+        i.add_fn(FnDef::new(
+            "mlp_e",
+            vec!["n".into()],
+            vec![Stmt::Return(Expr::bin(
+                BinOp::Mul,
+                Expr::Unit("mlp".into(), 1.0),
+                Expr::bin(BinOp::Div, Expr::var("n"), Expr::Num(256.0)),
+            ))],
+        ))
+        .unwrap();
+        i.validate().unwrap();
+        i
+    }
+
+    fn request(size: f64, zeros: f64) -> Value {
+        Value::num_record([("image_id", 7.0), ("image_size", size), ("image_zeros", zeros)])
+    }
+
+    fn fig1_calibration() -> Calibration {
+        Calibration::from_pairs([
+            ("conv2d", Energy::millijoules(40.0)),
+            ("relu", Energy::millijoules(1.0)),
+            ("mlp", Energy::millijoules(10.0)),
+        ])
+    }
+
+    #[test]
+    fn cache_hit_paths() {
+        let i = fig1();
+        let mut env = i.ecv_env();
+        env.pin_bool("request_hit", true);
+        env.pin_bool("local_cache_hit", true);
+        let cfg = cfg();
+        let e = evaluate_energy(&i, "handle", &[request(4096.0, 0.0)], &env, 1, &cfg).unwrap();
+        // 5 mJ * 1024.
+        assert!((e.as_joules() - 5e-3 * 1024.0).abs() < 1e-9);
+
+        env.pin_bool("local_cache_hit", false);
+        let e = evaluate_energy(&i, "handle", &[request(4096.0, 0.0)], &env, 1, &cfg).unwrap();
+        assert!((e.as_joules() - 100e-3 * 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_path_uses_abstract_units_and_zero_skipping() {
+        let i = fig1();
+        let mut env = i.ecv_env();
+        env.pin_bool("request_hit", false);
+        let mut cfg = cfg();
+        cfg.calibration = fig1_calibration();
+        let dense =
+            evaluate_energy(&i, "handle", &[request(2048.0, 0.0)], &env, 1, &cfg).unwrap();
+        let sparse =
+            evaluate_energy(&i, "handle", &[request(2048.0, 1024.0)], &env, 1, &cfg).unwrap();
+        // Zero-skipping: the sparse image consumes strictly less energy.
+        assert!(sparse < dense);
+        // Exact: 8 * (2048/1024) * 40mJ + 8 * 1mJ + 16 * 10mJ.
+        let expect = 8.0 * 2.0 * 40e-3 + 8.0 * 1e-3 + 16.0 * 10e-3;
+        assert!((dense.as_joules() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncalibrated_abstract_result_errors() {
+        let i = fig1();
+        let mut env = i.ecv_env();
+        env.pin_bool("request_hit", false);
+        let err =
+            evaluate_energy(&i, "handle", &[request(1024.0, 0.0)], &env, 1, &cfg()).unwrap_err();
+        assert!(matches!(err, Error::Uncalibrated { .. }));
+    }
+
+    #[test]
+    fn exact_enumeration_matches_hand_computation() {
+        let i = fig1();
+        let mut cfg = cfg();
+        cfg.calibration = fig1_calibration();
+        let env = i.ecv_env();
+        let d = enumerate_exact(&i, "handle", &[request(1024.0, 0.0)], &env, 100, &cfg).unwrap();
+        // Three distinct outcomes: hit-local, hit-remote, miss.
+        assert_eq!(d.len(), 3);
+        let hit_local = 5e-3 * 1024.0;
+        let hit_remote = 100e-3 * 1024.0;
+        let miss = 8.0 * 40e-3 + 8.0 * 1e-3 + 16.0 * 10e-3;
+        let expected_mean =
+            0.25 * (0.8 * hit_local + 0.2 * hit_remote) + 0.75 * miss;
+        assert!((d.mean().as_joules() - expected_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_exact() {
+        let i = fig1();
+        let mut cfg = cfg();
+        cfg.calibration = fig1_calibration();
+        let env = i.ecv_env();
+        let args = [request(1024.0, 0.0)];
+        let exact = enumerate_exact(&i, "handle", &args, &env, 100, &cfg).unwrap();
+        let mc = monte_carlo(&i, "handle", &args, &env, 20_000, 7, &cfg).unwrap();
+        let rel = (mc.mean().as_joules() - exact.mean().as_joules()).abs()
+            / exact.mean().as_joules();
+        assert!(rel < 0.03, "rel={rel}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let i = fig1();
+        let mut cfg = cfg();
+        cfg.calibration = fig1_calibration();
+        let env = i.ecv_env();
+        let args = [request(512.0, 10.0)];
+        let a = monte_carlo(&i, "handle", &args, &env, 100, 99, &cfg).unwrap();
+        let b = monte_carlo(&i, "handle", &args, &env, 100, 99, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loops_and_assignment() {
+        let mut i = Interface::new("loops");
+        // Sum i for i in [0, n): returns n*(n-1)/2 Joules.
+        i.add_fn(FnDef::new(
+            "tri",
+            vec!["n".into()],
+            vec![
+                Stmt::Let("acc".into(), Expr::Joules(0.0)),
+                Stmt::For {
+                    var: "i".into(),
+                    from: Expr::Num(0.0),
+                    to: Expr::var("n"),
+                    body: vec![Stmt::Assign(
+                        "acc".into(),
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::var("acc"),
+                            Expr::bin(
+                                BinOp::Mul,
+                                Expr::Joules(1.0),
+                                Expr::var("i"),
+                            ),
+                        ),
+                    )],
+                },
+                Stmt::Return(Expr::var("acc")),
+            ],
+        ))
+        .unwrap();
+        let env = EcvEnv::new();
+        let e = evaluate_energy(&i, "tri", &[Value::Num(10.0)], &env, 0, &cfg()).unwrap();
+        assert_eq!(e.as_joules(), 45.0);
+    }
+
+    #[test]
+    fn while_loop_respects_bound() {
+        let mut i = Interface::new("w");
+        i.add_fn(FnDef::new(
+            "spin",
+            vec!["n".into()],
+            vec![
+                Stmt::Let("i".into(), Expr::Num(0.0)),
+                Stmt::While {
+                    cond: Expr::bin(BinOp::Lt, Expr::var("i"), Expr::var("n")),
+                    bound: 10,
+                    body: vec![Stmt::Assign(
+                        "i".into(),
+                        Expr::bin(BinOp::Add, Expr::var("i"), Expr::Num(1.0)),
+                    )],
+                },
+                Stmt::Return(Expr::Joules(1.0)),
+            ],
+        ))
+        .unwrap();
+        let env = EcvEnv::new();
+        assert!(evaluate(&i, "spin", &[Value::Num(5.0)], &env, 0, &cfg()).is_ok());
+        let err = evaluate(&i, "spin", &[Value::Num(50.0)], &env, 0, &cfg()).unwrap_err();
+        assert_eq!(err, Error::BoundExceeded { bound: 10 });
+    }
+
+    #[test]
+    fn fuel_limits_runaway_interfaces() {
+        let mut i = Interface::new("f");
+        i.add_fn(FnDef::new(
+            "big",
+            vec![],
+            vec![
+                Stmt::Let("acc".into(), Expr::Num(0.0)),
+                Stmt::For {
+                    var: "i".into(),
+                    from: Expr::Num(0.0),
+                    to: Expr::Num(1e12),
+                    body: vec![Stmt::Assign(
+                        "acc".into(),
+                        Expr::bin(BinOp::Add, Expr::var("acc"), Expr::Num(1.0)),
+                    )],
+                },
+                Stmt::Return(Expr::Joules(0.0)),
+            ],
+        ))
+        .unwrap();
+        let mut c = cfg();
+        c.fuel = 10_000;
+        let err = evaluate(&i, "big", &[], &EcvEnv::new(), 0, &c).unwrap_err();
+        assert!(matches!(err, Error::FuelExhausted { .. }));
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let mut i = Interface::new("r");
+        i.add_fn(FnDef::new(
+            "rec",
+            vec!["n".into()],
+            vec![Stmt::Return(Expr::Call(
+                "rec".into(),
+                vec![Expr::bin(BinOp::Add, Expr::var("n"), Expr::Num(1.0))],
+            ))],
+        ))
+        .unwrap();
+        let err = evaluate(&i, "rec", &[Value::Num(0.0)], &EcvEnv::new(), 0, &cfg()).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::StackOverflow { .. } | Error::FuelExhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn bounded_recursion_works() {
+        // Recursion is allowed (Turing-complete language): fib-style energy.
+        let mut i = Interface::new("r");
+        i.add_fn(FnDef::new(
+            "e",
+            vec!["n".into()],
+            vec![Stmt::If(
+                Expr::bin(BinOp::Le, Expr::var("n"), Expr::Num(0.0)),
+                vec![Stmt::Return(Expr::Joules(1.0))],
+                vec![Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::Joules(0.5),
+                    Expr::Call(
+                        "e".into(),
+                        vec![Expr::bin(BinOp::Sub, Expr::var("n"), Expr::Num(1.0))],
+                    ),
+                ))],
+            )],
+        ))
+        .unwrap();
+        let e = evaluate_energy(&i, "e", &[Value::Num(4.0)], &EcvEnv::new(), 0, &cfg()).unwrap();
+        assert_eq!(e.as_joules(), 3.0);
+    }
+
+    #[test]
+    fn calling_unlinked_extern_reports_link_error() {
+        let mut i = Interface::new("x");
+        i.add_extern(ExternDecl {
+            name: "hw".into(),
+            arity: 0,
+            doc: String::new(),
+        })
+        .unwrap();
+        i.add_fn(FnDef::new(
+            "f",
+            vec![],
+            vec![Stmt::Return(Expr::Call("hw".into(), vec![]))],
+        ))
+        .unwrap();
+        let err = evaluate(&i, "f", &[], &EcvEnv::new(), 0, &cfg()).unwrap_err();
+        assert!(matches!(err, Error::Link { .. }));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let mut i = Interface::new("t");
+        i.add_fn(FnDef::new(
+            "bad",
+            vec![],
+            vec![Stmt::Return(Expr::bin(
+                BinOp::Add,
+                Expr::Num(1.0),
+                Expr::Joules(1.0),
+            ))],
+        ))
+        .unwrap();
+        assert!(matches!(
+            evaluate(&i, "bad", &[], &EcvEnv::new(), 0, &cfg()),
+            Err(Error::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn division_rules() {
+        assert!(matches!(
+            eval_binary(BinOp::Div, Value::Num(1.0), Value::Num(0.0)),
+            Err(Error::DivisionByZero)
+        ));
+        let r = eval_binary(BinOp::Div, Value::joules(6.0), Value::joules(2.0)).unwrap();
+        assert_eq!(r, Value::Num(3.0));
+        let r = eval_binary(BinOp::Div, Value::joules(6.0), Value::Num(2.0)).unwrap();
+        assert_eq!(r, Value::joules(3.0));
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        let mut i = Interface::new("sc");
+        // false && (1/0 < 1) must not evaluate the division.
+        i.add_fn(FnDef::new(
+            "f",
+            vec![],
+            vec![Stmt::If(
+                Expr::bin(
+                    BinOp::And,
+                    Expr::Bool(false),
+                    Expr::bin(
+                        BinOp::Lt,
+                        Expr::bin(BinOp::Div, Expr::Num(1.0), Expr::Num(0.0)),
+                        Expr::Num(1.0),
+                    ),
+                ),
+                vec![Stmt::Return(Expr::Joules(1.0))],
+                vec![Stmt::Return(Expr::Joules(2.0))],
+            )],
+        ))
+        .unwrap();
+        let e = evaluate_energy(&i, "f", &[], &EcvEnv::new(), 0, &cfg()).unwrap();
+        assert_eq!(e.as_joules(), 2.0);
+    }
+
+    #[test]
+    fn builtins_behave() {
+        use Builtin::*;
+        let n = |x: f64| Value::Num(x);
+        assert_eq!(eval_builtin(Min, &[n(1.0), n(2.0)]).unwrap(), n(1.0));
+        assert_eq!(eval_builtin(Max, &[n(1.0), n(2.0)]).unwrap(), n(2.0));
+        assert_eq!(eval_builtin(Abs, &[n(-3.0)]).unwrap(), n(3.0));
+        assert_eq!(eval_builtin(Ceil, &[n(1.2)]).unwrap(), n(2.0));
+        assert_eq!(eval_builtin(Floor, &[n(1.8)]).unwrap(), n(1.0));
+        assert_eq!(eval_builtin(Round, &[n(1.5)]).unwrap(), n(2.0));
+        assert_eq!(eval_builtin(Sqrt, &[n(9.0)]).unwrap(), n(3.0));
+        assert_eq!(eval_builtin(Log2, &[n(8.0)]).unwrap(), n(3.0));
+        assert_eq!(eval_builtin(Exp, &[n(0.0)]).unwrap(), n(1.0));
+        assert_eq!(eval_builtin(Pow, &[n(2.0), n(10.0)]).unwrap(), n(1024.0));
+        assert_eq!(eval_builtin(Joules, &[n(2.0)]).unwrap(), Value::joules(2.0));
+        assert_eq!(
+            eval_builtin(Clamp, &[n(5.0), n(0.0), n(3.0)]).unwrap(),
+            n(3.0)
+        );
+        assert!(eval_builtin(Sqrt, &[n(-1.0)]).is_err());
+        assert!(eval_builtin(Log2, &[n(0.0)]).is_err());
+        assert!(eval_builtin(Ln, &[n(-1.0)]).is_err());
+        assert!(eval_builtin(Min, &[n(1.0)]).is_err());
+        let e = |x: f64| Value::joules(x);
+        assert_eq!(eval_builtin(Min, &[e(1.0), e(2.0)]).unwrap(), e(1.0));
+    }
+
+    #[test]
+    fn expected_energy_helper() {
+        let i = fig1();
+        let mut c = cfg();
+        c.calibration = fig1_calibration();
+        let e = expected_energy(&i, "handle", &[request(1024.0, 0.0)], &c).unwrap();
+        assert!(e.as_joules() > 0.0);
+    }
+}

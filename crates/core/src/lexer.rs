@@ -1,0 +1,477 @@
+//! Lexer for the EIL surface syntax.
+//!
+//! The surface language is deliberately small and programmer-friendly (§2:
+//! the representation "must be both natural for programmers and
+//! machine-interpretable"): C-style tokens, `//` line comments, string
+//! literals for documentation, and plain floating-point numbers.
+
+use crate::error::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// A numeric literal.
+    Num(f64),
+    /// A string literal (documentation).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Tokenizes EIL source text.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let mut push = |tok: Tok| {
+            out.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            })
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                push(Tok::LBrace);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push(Tok::RBrace);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push(Tok::LParen);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(Tok::RParen);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(Tok::Comma);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(Tok::Semi);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push(Tok::Colon);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                if i + 1 < n && chars[i + 1] == '.' {
+                    push(Tok::DotDot);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::Dot);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push(Tok::Eq);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::Assign);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push(Tok::Ne);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::Bang);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push(Tok::Le);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::Lt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    push(Tok::Ge);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push(Tok::Gt);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '+' => {
+                push(Tok::Plus);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push(Tok::Minus);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push(Tok::Star);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push(Tok::Slash);
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                push(Tok::Percent);
+                i += 1;
+                col += 1;
+            }
+            '&' => {
+                if i + 1 < n && chars[i + 1] == '&' {
+                    push(Tok::AndAnd);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Error::Lex {
+                        line,
+                        col,
+                        msg: "expected `&&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < n && chars[i + 1] == '|' {
+                    push(Tok::OrOr);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(Error::Lex {
+                        line,
+                        col,
+                        msg: "expected `||`".into(),
+                    });
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut ccol = col + 1;
+                let mut closed = false;
+                while j < n {
+                    match chars[j] {
+                        '"' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        '\\' if j + 1 < n => {
+                            let esc = chars[j + 1];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '"' => '"',
+                                '\\' => '\\',
+                                other => {
+                                    return Err(Error::Lex {
+                                        line,
+                                        col: ccol,
+                                        msg: format!("unknown escape `\\{other}`"),
+                                    })
+                                }
+                            });
+                            j += 2;
+                            ccol += 2;
+                        }
+                        '\n' => {
+                            return Err(Error::Lex {
+                                line,
+                                col: ccol,
+                                msg: "unterminated string".into(),
+                            })
+                        }
+                        other => {
+                            s.push(other);
+                            j += 1;
+                            ccol += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(Error::Lex {
+                        line,
+                        col,
+                        msg: "unterminated string".into(),
+                    });
+                }
+                push(Tok::Str(s));
+                col += (j - i) as u32;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < n && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Fractional part — but `1..5` must lex as 1, .., 5.
+                if j < n && chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < n && chars[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                // Exponent.
+                if j < n && (chars[j] == 'e' || chars[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < n && (chars[k] == '+' || chars[k] == '-') {
+                        k += 1;
+                    }
+                    if k < n && chars[k].is_ascii_digit() {
+                        j = k;
+                        while j < n && chars[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..j].iter().collect();
+                let value = text.parse::<f64>().map_err(|_| Error::Lex {
+                    line,
+                    col,
+                    msg: format!("bad number `{text}`"),
+                })?;
+                push(Tok::Num(value));
+                col += (j - i) as u32;
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                push(Tok::Ident(text));
+                col += (j - i) as u32;
+                i = j;
+            }
+            other => {
+                return Err(Error::Lex {
+                    line,
+                    col,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_tokens() {
+        assert_eq!(
+            toks("let x = 1.5;"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(1.5),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("== != <= >= < > && || ! + - * / % .."),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::DotDot
+            ]
+        );
+    }
+
+    #[test]
+    fn range_vs_float() {
+        assert_eq!(
+            toks("0..10"),
+            vec![Tok::Num(0.0), Tok::DotDot, Tok::Num(10.0)]
+        );
+        assert_eq!(toks("0.5"), vec![Tok::Num(0.5)]);
+        assert_eq!(toks("1e3"), vec![Tok::Num(1000.0)]);
+        assert_eq!(toks("1.5e-3"), vec![Tok::Num(0.0015)]);
+        assert_eq!(toks("2E+2"), vec![Tok::Num(200.0)]);
+    }
+
+    #[test]
+    fn field_access() {
+        assert_eq!(
+            toks("request.image_size"),
+            vec![
+                Tok::Ident("request".into()),
+                Tok::Dot,
+                Tok::Ident("image_size".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // comment here\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hello \"world\"\n""#),
+            vec![Tok::Str("hello \"world\"\n".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("\"bad\\qescape\"").is_err());
+        assert!(lex("\"newline\nin string\"").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings_ok_but_not_idents() {
+        assert_eq!(toks("\"héllo\""), vec![Tok::Str("héllo".into())]);
+        assert!(lex("héllo").is_err());
+    }
+}

@@ -1,0 +1,895 @@
+//! Recursive-descent parser for the EIL surface syntax.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! interface  := "interface" ident str? "{" item* "}"
+//! item       := "unit" ident ";"
+//!             | "ecv" ident ":" dist str? ";"
+//!             | "extern" "fn" ident "(" params ")" str? ";"
+//!             | "fn" ident "(" params ")" str? block
+//! dist       := "bernoulli" "(" num ")" | "uniform" "(" num "," num ")"
+//!             | "normal" "(" num "," num ")" | "point" "(" num ")"
+//!             | "discrete" "(" num ":" num ("," num ":" num)* ")"
+//! block      := "{" stmt* "}"
+//! stmt       := "let" ident "=" expr ";" | ident "=" expr ";"
+//!             | "if" expr block ("else" (block | ifstmt))?
+//!             | "for" ident "in" expr ".." expr block
+//!             | "while" expr "bound" num block
+//!             | "return" expr ";"
+//! expr       := or ; or := and ("||" and)* ; and := cmp ("&&" cmp)*
+//! cmp        := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add        := mul (("+"|"-") mul)* ; mul := unary (("*"|"/"|"%") unary)*
+//! unary      := ("-"|"!") unary | postfix
+//! postfix    := primary ("." ident)*
+//! primary    := num unit? | "true" | "false" | ident ("(" args ")")?
+//!             | "(" expr ")" | "if" expr "{" expr "}" "else" "{" expr "}"
+//! unit       := "J"|"mJ"|"uJ"|"nJ"|"pJ"|"kJ"|"Wh" | declared-unit-name
+//! ```
+//!
+//! Energy literals bind the unit to the number: `5 mJ`, `2 relu`. Declared
+//! abstract units must appear (with `unit relu;`) before use.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{BinOp, Builtin, Expr, ExternDecl, FnDef, Stmt, UnOp};
+use crate::ecv::{DistSpec, EcvDecl};
+use crate::error::{Error, Result};
+use crate::interface::Interface;
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Keywords that cannot be used as identifiers.
+pub const KEYWORDS: &[&str] = &[
+    "interface", "unit", "ecv", "extern", "fn", "let", "if", "else", "for", "in", "while",
+    "bound", "return", "true", "false",
+];
+
+const ENERGY_SUFFIXES: &[(&str, f64)] = &[
+    ("J", 1.0),
+    ("mJ", 1e-3),
+    ("uJ", 1e-6),
+    ("nJ", 1e-9),
+    ("pJ", 1e-12),
+    ("kJ", 1e3),
+    ("Wh", 3600.0),
+];
+
+/// Parses a complete `interface` declaration from source text.
+pub fn parse_interface(src: &str) -> Result<Interface> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        units: BTreeSet::new(),
+    };
+    let iface = p.interface()?;
+    p.expect_eof()?;
+    iface.validate()?;
+    Ok(iface)
+}
+
+/// Parses a standalone expression (useful for tests and tools).
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        units: BTreeSet::new(),
+    };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    units: BTreeSet<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let (line, col) = self.here();
+        Error::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input"))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if !KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(Tok::Ident(s)) => Err(self.err(format!("`{s}` is a keyword"))),
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let neg = self.eat(&Tok::Minus);
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(if neg { -n } else { n }),
+            _ => Err(self.err("expected number")),
+        }
+    }
+
+    fn opt_doc(&mut self) -> String {
+        if let Some(Tok::Str(s)) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            s
+        } else {
+            String::new()
+        }
+    }
+
+    fn interface(&mut self) -> Result<Interface> {
+        self.expect_kw("interface")?;
+        let name = self.ident()?;
+        let mut iface = Interface::new(name);
+        iface.doc = self.opt_doc();
+        self.expect(&Tok::LBrace, "`{`")?;
+        while !self.eat(&Tok::RBrace) {
+            if self.eat_kw("unit") {
+                let u = self.ident()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                self.units.insert(u.clone());
+                iface.add_unit(u);
+            } else if self.eat_kw("ecv") {
+                let name = self.ident()?;
+                self.expect(&Tok::Colon, "`:`")?;
+                let dist = self.dist()?;
+                let doc = self.opt_doc();
+                self.expect(&Tok::Semi, "`;`")?;
+                iface.add_ecv(name, EcvDecl { dist, doc })?;
+            } else if self.eat_kw("extern") {
+                self.expect_kw("fn")?;
+                let name = self.ident()?;
+                self.expect(&Tok::LParen, "`(`")?;
+                let params = self.param_list()?;
+                let doc = self.opt_doc();
+                self.expect(&Tok::Semi, "`;`")?;
+                iface.add_extern(ExternDecl {
+                    name,
+                    arity: params.len(),
+                    doc,
+                })?;
+            } else if self.eat_kw("fn") {
+                let name = self.ident()?;
+                self.expect(&Tok::LParen, "`(`")?;
+                let params = self.param_list()?;
+                let doc = self.opt_doc();
+                let body = self.block()?;
+                iface.add_fn(FnDef {
+                    name,
+                    params,
+                    body,
+                    doc,
+                })?;
+            } else {
+                return Err(self.err("expected `unit`, `ecv`, `extern`, `fn`, or `}`"));
+            }
+        }
+        Ok(iface)
+    }
+
+    fn param_list(&mut self) -> Result<Vec<String>> {
+        let mut params = Vec::new();
+        if self.eat(&Tok::RParen) {
+            return Ok(params);
+        }
+        loop {
+            params.push(self.ident()?);
+            if self.eat(&Tok::Comma) {
+                continue;
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+            break;
+        }
+        Ok(params)
+    }
+
+    fn dist(&mut self) -> Result<DistSpec> {
+        let kind = self.ident()?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let spec = match kind.as_str() {
+            "bernoulli" => {
+                let p = self.number()?;
+                DistSpec::Bernoulli { p }
+            }
+            "uniform" => {
+                let lo = self.number()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let hi = self.number()?;
+                DistSpec::Uniform { lo, hi }
+            }
+            "normal" => {
+                let mean = self.number()?;
+                self.expect(&Tok::Comma, "`,`")?;
+                let std_dev = self.number()?;
+                DistSpec::Normal { mean, std_dev }
+            }
+            "point" => {
+                let value = self.number()?;
+                DistSpec::Point { value }
+            }
+            "discrete" => {
+                let mut outcomes = Vec::new();
+                loop {
+                    let v = self.number()?;
+                    self.expect(&Tok::Colon, "`:`")?;
+                    let p = self.number()?;
+                    outcomes.push((v, p));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                DistSpec::Discrete { outcomes }
+            }
+            other => return Err(self.err(format!("unknown distribution `{other}`"))),
+        };
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(spec)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if self.eat_kw("let") {
+            let name = self.ident()?;
+            self.expect(&Tok::Assign, "`=`")?;
+            let e = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.eat_kw("return") {
+            let e = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.eat_kw("if") {
+            let cond = self.expr()?;
+            let then_b = self.block()?;
+            let else_b = if self.eat_kw("else") {
+                if let Some(Tok::Ident(k)) = self.peek() {
+                    if k == "if" {
+                        // `else if ...` sugar.
+                        vec![self.stmt()?]
+                    } else {
+                        return Err(self.err("expected `{` or `if` after `else`"));
+                    }
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then_b, else_b));
+        }
+        if self.eat_kw("for") {
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let from = self.expr()?;
+            self.expect(&Tok::DotDot, "`..`")?;
+            let to = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            });
+        }
+        if self.eat_kw("while") {
+            let cond = self.expr()?;
+            self.expect_kw("bound")?;
+            let bound = self.number()?;
+            if bound < 0.0 || bound.fract() != 0.0 {
+                return Err(self.err("while bound must be a non-negative integer"));
+            }
+            let body = self.block()?;
+            return Ok(Stmt::While {
+                cond,
+                bound: bound as u64,
+                body,
+            });
+        }
+        // Assignment: `ident = expr;`.
+        let name = self.ident()?;
+        self.expect(&Tok::Assign, "`=` (assignment)")?;
+        let e = self.expr()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        Ok(Stmt::Assign(name, e))
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            e = Expr::bin(BinOp::Or, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            e = Expr::bin(BinOp::And, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let e = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(e),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, e, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            let inner = self.unary_expr()?;
+            // Fold negation into literals so `-1` round-trips as `Num(-1)`.
+            return Ok(match inner {
+                Expr::Num(n) => Expr::Num(-n),
+                Expr::Joules(j) => Expr::Joules(-j),
+                other => Expr::Unary(UnOp::Neg, Box::new(other)),
+            });
+        }
+        if self.eat(&Tok::Bang) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::Dot) {
+            let field = self.ident()?;
+            e = Expr::Field(Box::new(e), field);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                // Energy literal: `5 mJ` or `2 relu` (declared unit).
+                if let Some(Tok::Ident(suffix)) = self.peek() {
+                    let suffix = suffix.clone();
+                    if let Some((_, scale)) =
+                        ENERGY_SUFFIXES.iter().find(|(s, _)| *s == suffix)
+                    {
+                        self.pos += 1;
+                        return Ok(Expr::Joules(n * scale));
+                    }
+                    if self.units.contains(&suffix) {
+                        self.pos += 1;
+                        return Ok(Expr::Unit(suffix, n));
+                    }
+                }
+                Ok(Expr::Num(n))
+            }
+            Some(Tok::Ident(id)) if id == "true" => {
+                self.pos += 1;
+                Ok(Expr::Bool(true))
+            }
+            Some(Tok::Ident(id)) if id == "false" => {
+                self.pos += 1;
+                Ok(Expr::Bool(false))
+            }
+            Some(Tok::Ident(id)) if id == "ecv" => {
+                // `ecv(name)` — explicit ECV read.
+                self.pos += 1;
+                self.expect(&Tok::LParen, "`(`")?;
+                let name = self.ident()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Expr::Ecv(name))
+            }
+            Some(Tok::Ident(id)) if id == "if" => {
+                // If-expression: `if c { a } else { b }`.
+                self.pos += 1;
+                let c = self.expr()?;
+                self.expect(&Tok::LBrace, "`{`")?;
+                let t = self.expr()?;
+                self.expect(&Tok::RBrace, "`}`")?;
+                self.expect_kw("else")?;
+                self.expect(&Tok::LBrace, "`{`")?;
+                let f = self.expr()?;
+                self.expect(&Tok::RBrace, "`}`")?;
+                Ok(Expr::IfExpr(Box::new(c), Box::new(t), Box::new(f)))
+            }
+            Some(Tok::Ident(id)) if !KEYWORDS.contains(&id.as_str()) => {
+                self.pos += 1;
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::Comma) {
+                                continue;
+                            }
+                            self.expect(&Tok::RParen, "`)`")?;
+                            break;
+                        }
+                    }
+                    if let Some(b) = Builtin::from_name(&id) {
+                        return Ok(Expr::BuiltinCall(b, args));
+                    }
+                    return Ok(Expr::Call(id, args));
+                }
+                Ok(Expr::Var(id))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+/// Resolves bare `Var` references to declared ECVs into `Ecv` reads.
+///
+/// The surface syntax lets Fig. 1-style code write `if request_hit { .. }`
+/// without the explicit `ecv(..)` form; after parsing a whole interface we
+/// rewrite any variable that (a) is not a parameter or local and (b) names a
+/// declared ECV.
+pub fn resolve_ecv_reads(iface: &mut Interface) {
+    let ecv_names: BTreeSet<String> = iface.ecvs.keys().cloned().collect();
+    for f in iface.fns.values_mut() {
+        let mut bound: BTreeSet<String> = f.params.iter().cloned().collect();
+        rewrite_block(&mut f.body, &mut bound, &ecv_names);
+    }
+}
+
+fn rewrite_block(
+    stmts: &mut [Stmt],
+    bound: &mut BTreeSet<String>,
+    ecvs: &BTreeSet<String>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Let(name, e) => {
+                rewrite_expr(e, bound, ecvs);
+                bound.insert(name.clone());
+            }
+            Stmt::Assign(_, e) => rewrite_expr(e, bound, ecvs),
+            Stmt::If(c, t, els) => {
+                rewrite_expr(c, bound, ecvs);
+                rewrite_block(t, bound, ecvs);
+                rewrite_block(els, bound, ecvs);
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                rewrite_expr(from, bound, ecvs);
+                rewrite_expr(to, bound, ecvs);
+                bound.insert(var.clone());
+                rewrite_block(body, bound, ecvs);
+            }
+            Stmt::While { cond, body, .. } => {
+                rewrite_expr(cond, bound, ecvs);
+                rewrite_block(body, bound, ecvs);
+            }
+            Stmt::Return(e) => rewrite_expr(e, bound, ecvs),
+        }
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, bound: &BTreeSet<String>, ecvs: &BTreeSet<String>) {
+    match e {
+        Expr::Var(name) => {
+            if !bound.contains(name) && ecvs.contains(name) {
+                *e = Expr::Ecv(name.clone());
+            }
+        }
+        Expr::Field(b, _) | Expr::Unary(_, b) => rewrite_expr(b, bound, ecvs),
+        Expr::Binary(_, a, b) => {
+            rewrite_expr(a, bound, ecvs);
+            rewrite_expr(b, bound, ecvs);
+        }
+        Expr::Call(_, args) | Expr::BuiltinCall(_, args) => {
+            for a in args {
+                rewrite_expr(a, bound, ecvs);
+            }
+        }
+        Expr::IfExpr(c, t, f) => {
+            rewrite_expr(c, bound, ecvs);
+            rewrite_expr(t, bound, ecvs);
+            rewrite_expr(f, bound, ecvs);
+        }
+        Expr::Num(_)
+        | Expr::Bool(_)
+        | Expr::Joules(_)
+        | Expr::Unit(_, _)
+        | Expr::Ecv(_) => {}
+    }
+}
+
+/// Parses an interface and resolves Fig. 1-style bare ECV references.
+pub fn parse(src: &str) -> Result<Interface> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        units: BTreeSet::new(),
+    };
+    let mut iface = p.interface()?;
+    p.expect_eof()?;
+    resolve_ecv_reads(&mut iface);
+    iface.validate()?;
+    Ok(iface)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecv::EcvEnv;
+    use crate::interp::{evaluate_energy, EvalConfig};
+    use crate::value::Value;
+
+    const FIG1: &str = r#"
+        // The example energy interface from Fig. 1 of the paper.
+        interface ml_webservice "energy interface for an ML-model web service" {
+            unit conv2d;
+            unit relu;
+            unit mlp;
+            ecv request_hit: bernoulli(0.25) "request found in cache";
+            ecv local_cache_hit: bernoulli(0.8) "cache hit in current node";
+
+            fn handle(request) "energy to handle one request" {
+                let max_response_len = 1024;
+                if request_hit {
+                    return cache_lookup(request.image_id, max_response_len);
+                } else {
+                    return cnn_forward(request);
+                }
+            }
+
+            fn cache_lookup(key, response_len) {
+                return (if local_cache_hit { 5 mJ } else { 100 mJ }) * response_len;
+            }
+
+            fn cnn_forward(request) {
+                let n_embedding = 256;
+                let n_zeros = request.image_zeros;
+                return 8 * conv2d_e(request.image_size - n_zeros)
+                     + 8 * relu_e(n_embedding)
+                     + 16 * mlp_e(n_embedding);
+            }
+
+            fn conv2d_e(n) { return 1 conv2d * (n / 1024); }
+            fn relu_e(n) { return 1 relu * (n / 256); }
+            fn mlp_e(n) { return 1 mlp * (n / 256); }
+        }
+    "#;
+
+    #[test]
+    fn parses_fig1() {
+        let iface = parse(FIG1).unwrap();
+        assert_eq!(iface.name, "ml_webservice");
+        assert_eq!(iface.fns.len(), 6);
+        assert_eq!(iface.ecvs.len(), 2);
+        assert_eq!(iface.units.len(), 3);
+        assert!(iface.is_closed());
+    }
+
+    #[test]
+    fn fig1_evaluates() {
+        let iface = parse(FIG1).unwrap();
+        let mut env = EcvEnv::from_decls(&iface.ecvs);
+        env.pin_bool("request_hit", true);
+        env.pin_bool("local_cache_hit", true);
+        let req = Value::num_record([
+            ("image_id", 1.0),
+            ("image_size", 2048.0),
+            ("image_zeros", 0.0),
+        ]);
+        let e = evaluate_energy(&iface, "handle", &[req], &env, 0, &EvalConfig::default())
+            .unwrap();
+        assert!((e.as_joules() - 5e-3 * 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_literal_suffixes() {
+        let joules = |src: &str| match parse_expr(src).unwrap() {
+            Expr::Joules(j) => j,
+            other => panic!("expected Joules literal, got {other:?}"),
+        };
+        let close = |a: f64, b: f64| (a - b).abs() <= b.abs() * 1e-12;
+        assert!(close(joules("5 mJ"), 5e-3));
+        assert!(close(joules("2 J"), 2.0));
+        assert!(close(joules("3 uJ"), 3e-6));
+        assert!(close(joules("1 Wh"), 3600.0));
+        assert!(close(joules("4 kJ"), 4000.0));
+        assert!(close(joules("7 nJ"), 7e-9));
+        assert!(close(joules("9 pJ"), 9e-12));
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3).
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Expr::Num(1.0),
+                Expr::bin(BinOp::Mul, Expr::Num(2.0), Expr::Num(3.0))
+            )
+        );
+        // a || b && c parses as a || (b && c).
+        let e = parse_expr("a || b && c").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+        // Comparison binds looser than arithmetic.
+        let e = parse_expr("1 + 1 < 3").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn unary_and_parens() {
+        let e = parse_expr("-(1 + 2)").unwrap();
+        assert!(matches!(e, Expr::Unary(UnOp::Neg, _)));
+        let e = parse_expr("!x").unwrap();
+        assert!(matches!(e, Expr::Unary(UnOp::Not, _)));
+        let e = parse_expr("-x.size").unwrap();
+        // Unary applies to the whole postfix chain.
+        assert!(matches!(e, Expr::Unary(UnOp::Neg, _)));
+    }
+
+    #[test]
+    fn builtins_resolved() {
+        let e = parse_expr("min(1, 2)").unwrap();
+        assert!(matches!(e, Expr::BuiltinCall(Builtin::Min, _)));
+        let e = parse_expr("ceil(x / 32)").unwrap();
+        assert!(matches!(e, Expr::BuiltinCall(Builtin::Ceil, _)));
+    }
+
+    #[test]
+    fn explicit_ecv_syntax() {
+        let e = parse_expr("ecv(request_hit)").unwrap();
+        assert_eq!(e, Expr::Ecv("request_hit".into()));
+    }
+
+    #[test]
+    fn statements_parse() {
+        let src = r#"
+            interface s {
+                fn f(n) {
+                    let acc = 0 J;
+                    for i in 0..n {
+                        acc = acc + 1 mJ * i;
+                    }
+                    let j = 0;
+                    while j < 10 bound 20 {
+                        j = j + 1;
+                    }
+                    if n > 5 {
+                        return acc;
+                    } else if n > 2 {
+                        return acc * 2;
+                    } else {
+                        return 0 J;
+                    }
+                }
+            }
+        "#;
+        let iface = parse(src).unwrap();
+        let f = iface.get_fn("f").unwrap();
+        assert_eq!(f.body.len(), 5);
+        match &f.body[4] {
+            Stmt::If(_, _, els) => {
+                assert_eq!(els.len(), 1);
+                assert!(matches!(els[0], Stmt::If(_, _, _)));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extern_declarations() {
+        let src = r#"
+            interface up {
+                extern fn hw_op(bytes, flops) "hardware operation";
+                fn f(x) { return hw_op(x, x * 2); }
+            }
+        "#;
+        let iface = parse(src).unwrap();
+        assert_eq!(iface.externs["hw_op"].arity, 2);
+        assert!(!iface.is_closed());
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse("interface x { fn f( { } }").unwrap_err();
+        match err {
+            Error::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_keyword_identifiers() {
+        assert!(parse("interface if { }").is_err());
+        assert!(parse("interface x { fn return() { return 0 J; } }").is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_unit_literal() {
+        // `2 relu` without `unit relu;` parses `2` then chokes on `relu`.
+        let src = "interface x { fn f() { return 2 relu; } }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_distributions() {
+        assert!(parse("interface x { ecv e: bernoulli(2.0); }").is_err());
+        assert!(parse("interface x { ecv e: wacky(1.0); }").is_err());
+        assert!(parse("interface x { ecv e: discrete(1: 0.5); }").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_in_distributions() {
+        let src = "interface x { ecv e: normal(-5, 2.0); }";
+        let iface = parse(src).unwrap();
+        assert_eq!(
+            iface.ecvs["e"].dist,
+            DistSpec::Normal {
+                mean: -5.0,
+                std_dev: 2.0
+            }
+        );
+    }
+
+    #[test]
+    fn while_bound_must_be_integer() {
+        let src = "interface x { fn f() { while true bound 2.5 { } return 0 J; } }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse("interface x { } garbage").is_err());
+        assert!(parse_expr("1 + 2 extra").is_err());
+    }
+
+    #[test]
+    fn call_vs_var_disambiguation() {
+        let e = parse_expr("f(x) + f").unwrap();
+        match e {
+            Expr::Binary(BinOp::Add, l, r) => {
+                assert!(matches!(*l, Expr::Call(_, _)));
+                assert!(matches!(*r, Expr::Var(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The layered system-stack model of Fig. 2.
+//!
+//! "The system stack consists of layers, and each layer consists of
+//! resources that perform energy-consuming work. ... Each layer in the
+//! system stack has at least one resource manager that provisions and
+//! manages resources in that layer. Since resource managers handle resource
+//! allocation and maintain bindings between components at the different
+//! layers, they are the ones that can combine the energy interfaces of the
+//! underlying resources and expose the resulting energy interfaces of the
+//! resources to the upper layer." (§3)
+//!
+//! A [`Stack`] is an ordered list of [`Layer`]s, bottom (hardware) first.
+//! Each layer's [`ManagerPolicy`] decides how the layer's resources are
+//! composed against everything exported from below — the default policy is
+//! plain linking, but policies can rewrite interfaces (inject ECVs that
+//! describe the manager's own state, add idle-energy amortization, etc.).
+
+use std::collections::BTreeMap;
+
+use crate::compose::{link_closure, Registry};
+use crate::error::{Error, NameKind, Result};
+use crate::interface::Interface;
+use crate::units::Calibration;
+
+/// A resource: a named component with an energy interface (Fig. 2's boxes).
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Resource name (unique within its layer).
+    pub name: String,
+    /// Human-readable description of the functional role.
+    pub doc: String,
+    /// The resource's energy interface (may have externs to lower layers).
+    pub interface: Interface,
+}
+
+impl Resource {
+    /// Creates a resource from a name and interface.
+    pub fn new(name: impl Into<String>, interface: Interface) -> Self {
+        Resource {
+            name: name.into(),
+            doc: String::new(),
+            interface,
+        }
+    }
+
+    /// Attaches documentation.
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Self {
+        self.doc = doc.into();
+        self
+    }
+}
+
+/// How a layer's resource manager composes its resources' interfaces.
+///
+/// The policy sees each resource's interface together with the registry of
+/// everything exported by lower layers, and returns the interface that this
+/// layer exports upward for that resource.
+pub trait ManagerPolicy {
+    /// The manager's name (systemd, Python runtime, Docker, ...).
+    fn name(&self) -> &str;
+
+    /// Composes one resource's interface against the lower-layer exports.
+    ///
+    /// The default links the resource against everything below it.
+    fn compose(&self, resource: &Resource, below: &Registry) -> Result<Interface> {
+        link_closure(&resource.interface, below)
+    }
+
+    /// Calibration contributed by this layer (hardware layers calibrate the
+    /// abstract units they define). Defaults to empty.
+    fn calibration(&self) -> Calibration {
+        Calibration::empty()
+    }
+}
+
+/// The default pass-through manager: pure linking, no rewriting.
+#[derive(Debug, Clone)]
+pub struct LinkingManager {
+    name: String,
+}
+
+impl LinkingManager {
+    /// Creates a manager with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        LinkingManager { name: name.into() }
+    }
+}
+
+impl ManagerPolicy for LinkingManager {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One layer: a resource manager plus the resources it administers.
+pub struct Layer {
+    /// Layer name (e.g. "hardware", "os", "runtime", "application").
+    pub name: String,
+    /// The layer's resource manager.
+    pub manager: Box<dyn ManagerPolicy>,
+    /// Resources in this layer.
+    pub resources: Vec<Resource>,
+}
+
+impl Layer {
+    /// Creates a layer with the default linking manager.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Layer {
+            manager: Box::new(LinkingManager::new(format!("{name}-manager"))),
+            name,
+            resources: Vec::new(),
+        }
+    }
+
+    /// Creates a layer with a custom manager policy.
+    pub fn with_manager(name: impl Into<String>, manager: Box<dyn ManagerPolicy>) -> Self {
+        Layer {
+            name: name.into(),
+            manager,
+            resources: Vec::new(),
+        }
+    }
+
+    /// Adds a resource to the layer.
+    pub fn resource(mut self, r: Resource) -> Self {
+        self.resources.push(r);
+        self
+    }
+}
+
+impl std::fmt::Debug for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Layer")
+            .field("name", &self.name)
+            .field("manager", &self.manager.name())
+            .field(
+                "resources",
+                &self.resources.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// A full system stack, bottom layer first.
+#[derive(Debug, Default)]
+pub struct Stack {
+    layers: Vec<Layer>,
+}
+
+/// The result of composing a stack: every resource's exported end-to-end
+/// interface, plus the merged calibration from all layers.
+#[derive(Debug, Clone)]
+pub struct ComposedStack {
+    /// Exported interface per `(layer, resource)` pair, keyed by resource
+    /// name (resource names must be unique across the stack for export).
+    pub exports: BTreeMap<String, Interface>,
+    /// Union of all layers' calibrations (upper layers win conflicts).
+    pub calibration: Calibration,
+}
+
+impl ComposedStack {
+    /// The exported interface of one resource.
+    pub fn export(&self, resource: &str) -> Result<&Interface> {
+        self.exports.get(resource).ok_or_else(|| Error::Unresolved {
+            kind: NameKind::Interface,
+            name: resource.to_string(),
+        })
+    }
+}
+
+impl Stack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Stack::default()
+    }
+
+    /// Pushes the next layer up (call in bottom-to-top order).
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Composes the stack bottom-up (Fig. 2's ①→②→③ flow).
+    ///
+    /// Layer by layer, each manager composes its resources against the
+    /// registry of everything exported below, and the composed interfaces
+    /// join the registry for the next layer up.
+    pub fn compose(&self) -> Result<ComposedStack> {
+        let mut below = Registry::new();
+        let mut exports = BTreeMap::new();
+        let mut calibration = Calibration::empty();
+        for layer in &self.layers {
+            calibration.merge(&layer.manager.calibration());
+            let mut this_layer: Vec<Interface> = Vec::new();
+            for r in &layer.resources {
+                let composed = layer.manager.compose(r, &below)?;
+                if exports.contains_key(&r.name) {
+                    return Err(Error::Duplicate {
+                        kind: NameKind::Interface,
+                        name: r.name.clone(),
+                    });
+                }
+                exports.insert(r.name.clone(), composed.clone());
+                this_layer.push(composed);
+            }
+            for iface in this_layer {
+                below.register(iface)?;
+            }
+        }
+        Ok(ComposedStack {
+            exports,
+            calibration,
+        })
+    }
+
+    /// Replaces the bottom layer (e.g. to re-derive the stack for different
+    /// hardware, §3's first advantage of layering).
+    pub fn with_bottom(mut self, layer: Layer) -> Self {
+        if self.layers.is_empty() {
+            self.layers.push(layer);
+        } else {
+            self.layers[0] = layer;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecv::EcvEnv;
+    use crate::interp::{evaluate_energy, EvalConfig};
+    use crate::parser::parse;
+    use crate::units::Energy;
+    use crate::value::Value;
+
+    fn hw_layer(pj_per_flop: f64) -> Layer {
+        let gpu = parse(&format!(
+            "interface gpu {{ fn gpu_flops(n) {{ return {pj_per_flop} pJ * n; }} }}"
+        ))
+        .unwrap();
+        Layer::new("hardware").resource(Resource::new("gpu", gpu))
+    }
+
+    fn runtime_layer() -> Layer {
+        let runtime = parse(
+            r#"interface runtime {
+                extern fn gpu_flops(n);
+                fn run_kernel(n) { return gpu_flops(n) + 1 uJ; }
+            }"#,
+        )
+        .unwrap();
+        Layer::new("runtime").resource(Resource::new("runtime", runtime))
+    }
+
+    fn app_layer() -> Layer {
+        let app = parse(
+            r#"interface app {
+                extern fn run_kernel(n);
+                fn infer(tokens) { return run_kernel(tokens * 1000); }
+            }"#,
+        )
+        .unwrap();
+        Layer::new("application").resource(Resource::new("app", app))
+    }
+
+    #[test]
+    fn three_layer_stack_composes_end_to_end() {
+        let stack = Stack::new()
+            .layer(hw_layer(0.5))
+            .layer(runtime_layer())
+            .layer(app_layer());
+        assert_eq!(stack.depth(), 3);
+        let composed = stack.compose().unwrap();
+        let app = composed.export("app").unwrap();
+        assert!(app.is_closed());
+        let e = evaluate_energy(
+            app,
+            "infer",
+            &[Value::Num(10.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        // 10 * 1000 flops * 0.5 pJ + 1 uJ.
+        let expect = 10_000.0 * 0.5e-12 + 1e-6;
+        assert!((e.as_joules() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn swapping_bottom_layer_rederives_interface() {
+        let build = |pj: f64| {
+            Stack::new()
+                .layer(hw_layer(pj))
+                .layer(runtime_layer())
+                .layer(app_layer())
+        };
+        let fast = build(0.5).compose().unwrap();
+        let slow = build(2.0).compose().unwrap();
+        let env = EcvEnv::new();
+        let cfg = EvalConfig::default();
+        let args = [Value::Num(100.0)];
+        let ef = evaluate_energy(fast.export("app").unwrap(), "infer", &args, &env, 0, &cfg)
+            .unwrap();
+        let es = evaluate_energy(slow.export("app").unwrap(), "infer", &args, &env, 0, &cfg)
+            .unwrap();
+        assert!(es > ef);
+    }
+
+    #[test]
+    fn with_bottom_replaces_only_layer_zero() {
+        let stack = Stack::new()
+            .layer(hw_layer(0.5))
+            .layer(runtime_layer())
+            .layer(app_layer())
+            .with_bottom(hw_layer(4.0));
+        let composed = stack.compose().unwrap();
+        let e = evaluate_energy(
+            composed.export("app").unwrap(),
+            "infer",
+            &[Value::Num(1.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        let expect = 1000.0 * 4e-12 + 1e-6;
+        assert!((e.as_joules() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_resource_names_rejected() {
+        let stack = Stack::new()
+            .layer(hw_layer(0.5))
+            .layer(Layer::new("dup").resource(Resource::new(
+                "gpu",
+                parse("interface gpu2 { fn other(n) { return 1 J * n; } }").unwrap(),
+            )));
+        assert!(matches!(
+            stack.compose(),
+            Err(Error::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn manager_calibration_merges() {
+        struct CalManager;
+        impl ManagerPolicy for CalManager {
+            fn name(&self) -> &str {
+                "cal"
+            }
+            fn calibration(&self) -> Calibration {
+                Calibration::from_pairs([("relu", Energy::millijoules(2.0))])
+            }
+        }
+        let leaf = parse("interface leaf { unit relu; fn f() { return 3 relu; } }").unwrap();
+        let stack = Stack::new().layer(
+            Layer::with_manager("hw", Box::new(CalManager))
+                .resource(Resource::new("leaf", leaf)),
+        );
+        let composed = stack.compose().unwrap();
+        assert_eq!(
+            composed.calibration.get("relu"),
+            Some(Energy::millijoules(2.0))
+        );
+        let mut cfg = EvalConfig::default();
+        cfg.calibration = composed.calibration.clone();
+        let e = evaluate_energy(
+            composed.export("leaf").unwrap(),
+            "f",
+            &[],
+            &EcvEnv::new(),
+            0,
+            &cfg,
+        )
+        .unwrap();
+        assert!((e.as_joules() - 6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_doc_and_debug() {
+        let r = Resource::new("x", Interface::new("x")).with_doc("a thing");
+        assert_eq!(r.doc, "a thing");
+        let layer = Layer::new("l").resource(r);
+        let dbg = format!("{layer:?}");
+        assert!(dbg.contains("l-manager"));
+        assert!(dbg.contains("\"x\""));
+    }
+}

@@ -1,0 +1,211 @@
+//! Runtime values of the EIL interpreter.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, NameKind, Result};
+use crate::units::{Energy, EnergyVec};
+
+/// A runtime value: number, boolean, energy vector, or record.
+///
+/// Records model the *abstraction of the input* that §3 allows: "a
+/// communication layer might care only about the number of RPC calls and
+/// payload size" — so inputs are records of numeric features rather than
+/// concrete payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A dimensionless number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An energy quantity (possibly with abstract-unit components).
+    Energy(EnergyVec),
+    /// A record of named fields.
+    Record(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// A record value built from `(field, value)` pairs.
+    pub fn record<I, S>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Value::Record(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A record of numeric fields — the common input shape.
+    pub fn num_record<I, S>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        Value::record(fields.into_iter().map(|(k, v)| (k, Value::Num(v))))
+    }
+
+    /// A pure-Joule energy value.
+    pub fn joules(j: f64) -> Value {
+        Value::Energy(EnergyVec::from_joules(j))
+    }
+
+    /// The value's type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::Energy(_) => "energy",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Extracts a number, or errors.
+    pub fn as_num(&self) -> Result<f64> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(Error::Type {
+                expected: "number",
+                got: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Extracts a boolean, or errors.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::Type {
+                expected: "boolean",
+                got: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Extracts an energy vector, or errors.
+    pub fn as_energy(&self) -> Result<&EnergyVec> {
+        match self {
+            Value::Energy(e) => Ok(e),
+            other => Err(Error::Type {
+                expected: "energy",
+                got: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Extracts an energy vector, consuming the value.
+    pub fn into_energy(self) -> Result<EnergyVec> {
+        match self {
+            Value::Energy(e) => Ok(e),
+            other => Err(Error::Type {
+                expected: "energy",
+                got: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Converts an energy value to concrete Joules with no calibration.
+    pub fn into_joules(self) -> Result<Energy> {
+        self.into_energy()?.to_energy()
+    }
+
+    /// Reads a field of a record, or errors.
+    pub fn field(&self, name: &str) -> Result<&Value> {
+        match self {
+            Value::Record(fields) => fields.get(name).ok_or_else(|| Error::Unresolved {
+                kind: NameKind::Field,
+                name: name.to_string(),
+            }),
+            other => Err(Error::Type {
+                expected: "record",
+                got: other.type_name().into(),
+            }),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<Energy> for Value {
+    fn from(e: Energy) -> Value {
+        Value::Energy(EnergyVec::from_energy(e))
+    }
+}
+
+impl From<EnergyVec> for Value {
+    fn from(v: EnergyVec) -> Value {
+        Value::Energy(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Energy(e) => write!(f, "{e}"),
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Num(2.0).as_num().unwrap(), 2.0);
+        assert!(Value::Num(2.0).as_bool().is_err());
+        assert!(Value::Bool(true).as_num().is_err());
+        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::joules(1.0).as_energy().is_ok());
+        assert!(Value::joules(1.0).as_num().is_err());
+    }
+
+    #[test]
+    fn record_field_access() {
+        let r = Value::num_record([("size", 64.0), ("zeros", 8.0)]);
+        assert_eq!(r.field("size").unwrap().as_num().unwrap(), 64.0);
+        let err = r.field("missing").unwrap_err();
+        assert!(matches!(err, Error::Unresolved { .. }));
+        assert!(Value::Num(1.0).field("x").is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = Energy::millijoules(3.0).into();
+        assert!((v.into_joules().unwrap().as_joules() - 3e-3).abs() < 1e-15);
+        let v: Value = 2.5f64.into();
+        assert_eq!(v, Value::Num(2.5));
+        let v: Value = true.into();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = Value::record([
+            ("a", Value::Num(1.0)),
+            ("b", Value::Bool(false)),
+        ]);
+        assert_eq!(format!("{r}"), "{a: 1, b: false}");
+        assert_eq!(format!("{}", Value::joules(2.0)), "2.0000 J");
+    }
+}

@@ -1,0 +1,305 @@
+//! Property-based tests for the EIL core: printer/parser round-trips,
+//! distribution invariants, interval-analysis soundness, and linker
+//! behaviour under randomly generated interfaces.
+
+use proptest::prelude::*;
+
+use ei_core::analysis::interval::{abstract_eval, AbsValue, Interval};
+use ei_core::ast::{BinOp, Builtin, Expr, FnDef, Stmt};
+use ei_core::dist::EnergyDist;
+use ei_core::ecv::{DistSpec, EcvDecl, EcvEnv};
+use ei_core::interface::Interface;
+use ei_core::interp::{evaluate, evaluate_energy, EvalConfig};
+use ei_core::parser::parse;
+use ei_core::pretty::print_interface;
+use ei_core::units::{Calibration, Energy, EnergyVec};
+use ei_core::value::Value;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Small positive literal that prints and re-parses losslessly.
+fn arb_lit() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u32..1000).prop_map(|n| n as f64),
+        (1u32..10_000).prop_map(|n| n as f64 / 100.0),
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword/builtin/suffix", |s| {
+        !ei_core::parser::KEYWORDS.contains(&s.as_str())
+            && Builtin::from_name(s).is_none()
+            && !["mj", "uj", "nj", "pj", "kj", "j", "wh"].contains(&s.as_str())
+    })
+}
+
+/// Numeric expressions over one scalar parameter `x`.
+fn arb_num_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_lit().prop_map(Expr::Num),
+        Just(Expr::var("x")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Mul, a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::BuiltinCall(Builtin::Min, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::BuiltinCall(Builtin::Max, vec![a, b])),
+            inner
+                .clone()
+                .prop_map(|a| Expr::BuiltinCall(Builtin::Abs, vec![a])),
+        ]
+    })
+}
+
+/// A random single-function interface `fn f(x) { return joules(<num expr>); }`.
+fn arb_numeric_interface() -> impl Strategy<Value = Interface> {
+    arb_num_expr().prop_map(|e| {
+        let mut i = Interface::new("gen");
+        i.add_fn(FnDef::new(
+            "f",
+            vec!["x".into()],
+            vec![Stmt::Return(Expr::BuiltinCall(Builtin::Joules, vec![e]))],
+        ))
+        .unwrap();
+        i
+    })
+}
+
+fn arb_dist_spec() -> impl Strategy<Value = DistSpec> {
+    prop_oneof![
+        (0.0f64..=1.0).prop_map(|p| DistSpec::Bernoulli { p }),
+        (arb_lit(), arb_lit()).prop_map(|(a, b)| DistSpec::Uniform {
+            lo: a.min(b),
+            hi: a.max(b)
+        }),
+        (arb_lit(), 0.0f64..5.0).prop_map(|(m, s)| DistSpec::Normal {
+            mean: m,
+            std_dev: s
+        }),
+        arb_lit().prop_map(|v| DistSpec::Point { value: v }),
+        proptest::collection::vec((arb_lit(), 1u32..5), 1..4).prop_map(|raw| {
+            let total: u32 = raw.iter().map(|(_, w)| w).sum();
+            DistSpec::Discrete {
+                outcomes: raw
+                    .into_iter()
+                    .map(|(v, w)| (v, w as f64 / total as f64))
+                    .collect(),
+            }
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Printer / parser round-trip
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn print_parse_roundtrip_numeric(iface in arb_numeric_interface()) {
+        let printed = print_interface(&iface);
+        let reparsed = parse(&printed).expect("printed interface must re-parse");
+        prop_assert_eq!(&iface, &reparsed, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn print_parse_roundtrip_with_ecvs(
+        names in proptest::collection::btree_set(arb_ident(), 1..4),
+        dists in proptest::collection::vec(arb_dist_spec(), 4),
+        doc in "[ -~]{0,30}",
+    ) {
+        let mut iface = Interface::new("gen");
+        iface.doc = doc;
+        for (name, dist) in names.iter().zip(dists) {
+            iface.add_ecv(name.clone(), EcvDecl { dist, doc: String::new() }).unwrap();
+        }
+        iface.add_fn(FnDef::new("f", vec![], vec![Stmt::Return(Expr::Joules(1.0))]))
+            .unwrap();
+        let printed = print_interface(&iface);
+        let reparsed = parse(&printed).expect("must re-parse");
+        prop_assert_eq!(iface, reparsed, "printed:\n{}", printed);
+    }
+
+    // -----------------------------------------------------------------------
+    // Interpreter / analysis coherence
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn interval_analysis_is_sound(iface in arb_numeric_interface(), x in 0.0f64..100.0) {
+        let cfg = EvalConfig::default();
+        let env = EcvEnv::new();
+        let concrete = evaluate_energy(&iface, "f", &[Value::Num(x)], &env, 0, &cfg);
+        let abs = abstract_eval(
+            &iface,
+            "f",
+            &[AbsValue::Num(Interval::new(0.0, 100.0))],
+        );
+        if let (Ok(c), Ok(a)) = (concrete, abs) {
+            let e = a.as_energy().unwrap();
+            let lo = e.lower_bound(&Calibration::empty()).unwrap();
+            let hi = e.upper_bound(&Calibration::empty()).unwrap();
+            let slack = 1e-9 * (1.0 + hi.as_joules().abs());
+            prop_assert!(
+                c.as_joules() >= lo.as_joules() - slack
+                    && c.as_joules() <= hi.as_joules() + slack,
+                "concrete {} outside [{}, {}]",
+                c.as_joules(), lo.as_joules(), hi.as_joules()
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(iface in arb_numeric_interface(), x in 0.0f64..50.0, seed: u64) {
+        let cfg = EvalConfig::default();
+        let env = EcvEnv::new();
+        let a = evaluate(&iface, "f", &[Value::Num(x)], &env, seed, &cfg);
+        let b = evaluate(&iface, "f", &[Value::Num(x)], &env, seed, &cfg);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    // -----------------------------------------------------------------------
+    // Distribution invariants
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn dist_stats_invariants(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let d = EnergyDist::empirical(samples.iter().map(|j| Energy::joules(*j)).collect());
+        let mean = d.mean().as_joules();
+        prop_assert!(mean >= d.min().as_joules() - 1e-9);
+        prop_assert!(mean <= d.max().as_joules() + 1e-9);
+        prop_assert!(d.variance() >= -1e-9);
+        let q05 = d.quantile(0.05);
+        let q95 = d.quantile(0.95);
+        prop_assert!(q05 <= q95);
+        prop_assert!(d.quantile(0.0) == d.min());
+    }
+
+    #[test]
+    fn mixture_mean_matches_weighted_sum(
+        outcomes in proptest::collection::vec((0.0f64..100.0, 1u32..10), 1..8)
+    ) {
+        let total: u32 = outcomes.iter().map(|(_, w)| w).sum();
+        let pairs: Vec<(Energy, f64)> = outcomes
+            .iter()
+            .map(|(e, w)| (Energy::joules(*e), *w as f64 / total as f64))
+            .collect();
+        let expect: f64 = pairs.iter().map(|(e, p)| e.as_joules() * p).sum();
+        let d = EnergyDist::mixture(pairs);
+        prop_assert!((d.mean().as_joules() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_mean_is_additive(
+        a in proptest::collection::vec((0.0f64..10.0, 1u32..4), 1..4),
+        b in proptest::collection::vec((0.0f64..10.0, 1u32..4), 1..4),
+    ) {
+        let norm = |raw: &[(f64, u32)]| {
+            let total: u32 = raw.iter().map(|(_, w)| w).sum();
+            EnergyDist::mixture(
+                raw.iter()
+                    .map(|(e, w)| (Energy::joules(*e), *w as f64 / total as f64)),
+            )
+        };
+        let da = norm(&a);
+        let db = norm(&b);
+        let c = da.convolve(&db);
+        prop_assert!(
+            (c.mean().as_joules() - (da.mean().as_joules() + db.mean().as_joules())).abs()
+                < 1e-9
+        );
+    }
+
+    // -----------------------------------------------------------------------
+    // Unit algebra invariants
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn energy_vec_algebra(j1 in -1e6f64..1e6, j2 in -1e6f64..1e6, k in -100.0f64..100.0) {
+        let a = EnergyVec::from_joules(j1);
+        let b = EnergyVec::from_joules(j2);
+        let sum = a.plus(&b);
+        prop_assert!((sum.joules - (j1 + j2)).abs() < 1e-6);
+        let scaled = a.scaled(k);
+        prop_assert!((scaled.joules - j1 * k).abs() < 1e-4);
+        let diff = sum.minus(&b);
+        prop_assert!((diff.joules - j1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecv_samples_in_support(dist in arb_dist_spec(), seed: u64) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = dist.sample(&mut rng).as_num();
+        match &dist {
+            DistSpec::Bernoulli { .. } => prop_assert!(v == 0.0 || v == 1.0),
+            DistSpec::Uniform { lo, hi } => prop_assert!(v >= *lo && v <= *hi),
+            DistSpec::Point { value } => prop_assert!((v - value).abs() < 1e-12),
+            DistSpec::Discrete { outcomes } => {
+                prop_assert!(outcomes.iter().any(|(o, _)| (o - v).abs() < 1e-12));
+            }
+            DistSpec::Normal { .. } => prop_assert!(v.is_finite()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-random cross-module integration checks kept alongside the properties.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig1_interface_text_renders_and_reparses() {
+    let src = r#"
+        interface ml_webservice "Fig. 1 of the paper" {
+            unit conv2d; unit relu; unit mlp;
+            ecv request_hit: bernoulli(0.25) "request found in cache";
+            ecv local_cache_hit: bernoulli(0.8) "cache hit in current node";
+            fn handle(request) {
+                let max_response_len = 1024;
+                if request_hit {
+                    return cache_lookup(request.image_id, max_response_len);
+                } else {
+                    return cnn_forward(request);
+                }
+            }
+            fn cache_lookup(key, response_len) {
+                return (if local_cache_hit { 5 mJ } else { 100 mJ }) * response_len;
+            }
+            fn cnn_forward(request) {
+                let n_embedding = 256;
+                return 8 conv2d * ((request.image_size - request.image_zeros) / 1024)
+                     + 8 relu * (n_embedding / 256)
+                     + 16 mlp * (n_embedding / 256);
+            }
+        }
+    "#;
+    let iface = parse(src).unwrap();
+    let printed = print_interface(&iface);
+    let again = parse(&printed).unwrap();
+    assert_eq!(iface, again);
+
+    // And it evaluates under a calibration.
+    let cal = Calibration::from_pairs([
+        ("conv2d", Energy::millijoules(40.0)),
+        ("relu", Energy::millijoules(1.0)),
+        ("mlp", Energy::millijoules(10.0)),
+    ]);
+    let mut cfg = EvalConfig::default();
+    cfg.calibration = cal;
+    let mut env = iface.ecv_env();
+    env.pin_bool("request_hit", false);
+    let req = Value::num_record([
+        ("image_id", 0.0),
+        ("image_size", 1024.0),
+        ("image_zeros", 0.0),
+    ]);
+    let e = evaluate_energy(&iface, "handle", &[req], &env, 0, &cfg).unwrap();
+    let expect = 8.0 * 40e-3 + 8.0 * 1e-3 + 16.0 * 10e-3;
+    assert!((e.as_joules() - expect).abs() < 1e-12);
+}

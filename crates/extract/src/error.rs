@@ -1,0 +1,47 @@
+//! Error type for the extraction toolchain.
+
+use std::fmt;
+
+/// Errors produced by fitting, microbenchmarking, and derivation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A least-squares fit could not be performed.
+    Fit {
+        /// Explanation.
+        msg: String,
+    },
+    /// A microbenchmark campaign failed (e.g. VRAM exhausted).
+    Microbench {
+        /// Explanation.
+        msg: String,
+    },
+    /// Trace-based derivation failed.
+    Derive {
+        /// Explanation.
+        msg: String,
+    },
+    /// An underlying EIL error.
+    Core(ei_core::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Fit { msg } => write!(f, "fit error: {msg}"),
+            Error::Microbench { msg } => write!(f, "microbenchmark error: {msg}"),
+            Error::Derive { msg } => write!(f, "derivation error: {msg}"),
+            Error::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ei_core::Error> for Error {
+    fn from(e: ei_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,25 @@
+//! # ei-extract: the energy-interface toolchain
+//!
+//! §4 of the paper sketches two workflows; this crate implements the tools
+//! they need:
+//!
+//! - [`microbench`]: derives *hardware* energy interfaces when the vendor
+//!   provides none — microbenchmark campaigns measured through the coarse
+//!   [`ei_hw::meter::PowerMeter`], least-squares fitted ([`fit`]) into the
+//!   five per-event coefficients of §5, and emitted as linkable EIL.
+//! - [`trace`]: derives *software* energy interfaces from instrumented
+//!   implementations (the implementation→interface workflow, §4.2).
+//! - [`bugs`]: flags energy bugs as divergences between an interface's
+//!   prediction and measured energy (§4.2's testing story).
+
+pub mod bugs;
+pub mod error;
+pub mod fit;
+pub mod microbench;
+pub mod trace;
+
+pub use bugs::{detect_energy_bugs, BugReport, DetectorConfig, EnergyBug};
+pub use error::{Error, Result};
+pub use fit::{least_squares, LinearFit};
+pub use microbench::{fit_gpu_model, GpuEnergyModel};
+pub use trace::{derive_interface, DeriveReport, Tracer};

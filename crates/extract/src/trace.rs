@@ -1,0 +1,361 @@
+//! Implementation → interface derivation from execution traces.
+//!
+//! §4.2: "For each module implementation, a program analysis tool derives an
+//! intermediate representation that captures how that module combines
+//! lower-level resources to implement its own logic." Our implementations
+//! are arbitrary Rust code, so the analysis is dynamic: a [`Tracer`] records
+//! every call the implementation makes into lower-level resources, the
+//! deriver runs the implementation over a sampled input space, fits each
+//! resource's call count and argument totals as affine functions of the
+//! input features, and emits an EIL interface that reproduces the resource
+//! usage — leaving the resources themselves as externs so the derived
+//! interface composes like any hand-written one.
+//!
+//! The derivation is exact when resource usage is input-affine (the common
+//! case for request-shaped workloads); the [`DeriveReport`] carries per-fit
+//! R² so callers can see when it is not.
+
+use std::collections::BTreeMap;
+
+use ei_core::ast::ExternDecl;
+use ei_core::interface::Interface;
+use ei_core::parser::parse;
+
+use crate::error::{Error, Result};
+use crate::fit::{least_squares, LinearFit};
+
+/// Records resource calls made by an implementation under derivation.
+#[derive(Debug, Default, Clone)]
+pub struct Tracer {
+    calls: Vec<(String, Vec<f64>)>,
+}
+
+impl Tracer {
+    /// A fresh tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Records one call into resource `name` with numeric arguments.
+    pub fn call(&mut self, name: &str, args: &[f64]) {
+        self.calls.push((name.to_string(), args.to_vec()));
+    }
+
+    /// All recorded calls, in order.
+    pub fn calls(&self) -> &[(String, Vec<f64>)] {
+        &self.calls
+    }
+
+    /// Aggregates: per resource, `(count, per-argument sums)`.
+    pub fn aggregate(&self) -> BTreeMap<String, (u64, Vec<f64>)> {
+        let mut out: BTreeMap<String, (u64, Vec<f64>)> = BTreeMap::new();
+        for (name, args) in &self.calls {
+            let entry = out
+                .entry(name.clone())
+                .or_insert_with(|| (0, vec![0.0; args.len()]));
+            entry.0 += 1;
+            if entry.1.len() < args.len() {
+                entry.1.resize(args.len(), 0.0);
+            }
+            for (i, a) in args.iter().enumerate() {
+                entry.1[i] += a;
+            }
+        }
+        out
+    }
+}
+
+/// Quality report for one derived quantity.
+#[derive(Debug, Clone)]
+pub struct FitQuality {
+    /// What was fitted ("count(cache_get)", "arg0(cache_get)").
+    pub target: String,
+    /// R² of the affine fit.
+    pub r_squared: f64,
+}
+
+/// The result of a derivation: the interface plus fit diagnostics.
+#[derive(Debug, Clone)]
+pub struct DeriveReport {
+    /// The derived interface (function `e_run(features...)`).
+    pub interface: Interface,
+    /// Per-quantity fit quality.
+    pub fits: Vec<FitQuality>,
+}
+
+impl DeriveReport {
+    /// The minimum R² across all fitted quantities.
+    pub fn worst_r_squared(&self) -> f64 {
+        self.fits
+            .iter()
+            .map(|f| f.r_squared)
+            .fold(1.0, f64::min)
+    }
+}
+
+/// Derives an energy interface from an instrumented implementation.
+///
+/// - `name`: name for the derived interface.
+/// - `features`: input feature names (the derived `e_run` parameters).
+/// - `inputs`: sample points (each of `features.len()` values) to execute.
+/// - `implementation`: the code under derivation; it receives a [`Tracer`]
+///   and one input point, and must call resources through the tracer.
+pub fn derive_interface(
+    name: &str,
+    features: &[&str],
+    inputs: &[Vec<f64>],
+    mut implementation: impl FnMut(&mut Tracer, &[f64]),
+) -> Result<DeriveReport> {
+    if inputs.len() < features.len() + 1 {
+        return Err(Error::Derive {
+            msg: format!(
+                "need at least {} sample inputs for {} features",
+                features.len() + 1,
+                features.len()
+            ),
+        });
+    }
+    // Execute and aggregate.
+    let mut per_input: Vec<BTreeMap<String, (u64, Vec<f64>)>> = Vec::new();
+    for input in inputs {
+        if input.len() != features.len() {
+            return Err(Error::Derive {
+                msg: "input point arity does not match feature list".into(),
+            });
+        }
+        let mut tracer = Tracer::new();
+        implementation(&mut tracer, input);
+        per_input.push(tracer.aggregate());
+    }
+
+    // The union of resources seen, with their max arity.
+    let mut resources: BTreeMap<String, usize> = BTreeMap::new();
+    for agg in &per_input {
+        for (res, (_, sums)) in agg {
+            let e = resources.entry(res.clone()).or_insert(0);
+            *e = (*e).max(sums.len());
+        }
+    }
+    if resources.is_empty() {
+        return Err(Error::Derive {
+            msg: "implementation made no resource calls on any sampled input".into(),
+        });
+    }
+
+    // Design matrix: [1, f1, f2, ...] per input.
+    let rows: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|x| {
+            let mut r = vec![1.0];
+            r.extend_from_slice(x);
+            r
+        })
+        .collect();
+
+    let mut fits = Vec::new();
+    let mut body = String::new();
+    body.push_str("let e = 0 J;\n");
+    let affine_src = |fit: &LinearFit| {
+        let mut s = format!("{}", fit.coefficients[0]);
+        for (c, f) in fit.coefficients[1..].iter().zip(features) {
+            s.push_str(&format!(" + {c} * {f}"));
+        }
+        s
+    };
+
+    for (res, arity) in &resources {
+        // Call count model.
+        let counts: Vec<f64> = per_input
+            .iter()
+            .map(|agg| agg.get(res).map(|(c, _)| *c as f64).unwrap_or(0.0))
+            .collect();
+        let count_fit = least_squares(&rows, &counts)?;
+        fits.push(FitQuality {
+            target: format!("count({res})"),
+            r_squared: count_fit.r_squared,
+        });
+        body.push_str(&format!(
+            "let n_{res} = max(round({}), 0);\n",
+            affine_src(&count_fit)
+        ));
+
+        // Mean-argument models.
+        let mut arg_names = Vec::new();
+        for a in 0..*arity {
+            let means: Vec<f64> = per_input
+                .iter()
+                .map(|agg| match agg.get(res) {
+                    Some((c, sums)) if *c > 0 => {
+                        sums.get(a).copied().unwrap_or(0.0) / *c as f64
+                    }
+                    _ => 0.0,
+                })
+                .collect();
+            let arg_fit = least_squares(&rows, &means)?;
+            fits.push(FitQuality {
+                target: format!("arg{a}({res})"),
+                r_squared: arg_fit.r_squared,
+            });
+            body.push_str(&format!(
+                "let {res}_a{a} = {};\n",
+                affine_src(&arg_fit)
+            ));
+            arg_names.push(format!("{res}_a{a}"));
+        }
+        body.push_str(&format!(
+            "e = e + n_{res} * {res}({});\n",
+            arg_names.join(", ")
+        ));
+    }
+    body.push_str("return e;");
+
+    let mut src = format!("interface derived_{name} \"derived from traces\" {{\n");
+    for (res, arity) in &resources {
+        let params: Vec<String> = (0..*arity).map(|i| format!("a{i}")).collect();
+        src.push_str(&format!(
+            "extern fn {res}({});\n",
+            params.join(", ")
+        ));
+    }
+    src.push_str(&format!(
+        "fn e_run({}) {{\n{}\n}}\n}}\n",
+        features.join(", "),
+        body
+    ));
+    let interface = parse(&src)?;
+
+    // Structural sanity: externs recorded correctly.
+    for (res, arity) in &resources {
+        debug_assert_eq!(
+            interface.externs.get(res).map(|d: &ExternDecl| d.arity),
+            Some(*arity)
+        );
+    }
+    Ok(DeriveReport { interface, fits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_core::compose::link;
+    use ei_core::ecv::EcvEnv;
+    use ei_core::interp::{evaluate_energy, EvalConfig};
+    use ei_core::value::Value;
+
+    /// An affine workload: for a request of `n` items, does `n` cache gets
+    /// of 64 bytes and one summary store of `n * 8` bytes.
+    fn affine_impl(t: &mut Tracer, x: &[f64]) {
+        let n = x[0] as u64;
+        for _ in 0..n {
+            t.call("cache_get", &[64.0]);
+        }
+        t.call("store_put", &[n as f64 * 8.0]);
+    }
+
+    #[test]
+    fn derives_affine_workload_exactly() {
+        let inputs: Vec<Vec<f64>> = (1..=12).map(|n| vec![n as f64]).collect();
+        let report = derive_interface("batcher", &["n"], &inputs, affine_impl).unwrap();
+        assert!(report.worst_r_squared() > 0.999999);
+        let iface = &report.interface;
+        assert!(iface.externs.contains_key("cache_get"));
+        assert!(iface.externs.contains_key("store_put"));
+
+        // Link against simple resource interfaces and check the prediction
+        // against a direct computation.
+        let cache = parse("interface cache { fn cache_get(bytes) { return 2 uJ * bytes; } }")
+            .unwrap();
+        let store = parse("interface store { fn store_put(bytes) { return 5 uJ * bytes; } }")
+            .unwrap();
+        let linked = link(iface, &[&cache, &store]).unwrap();
+        let e = evaluate_energy(
+            &linked,
+            "e_run",
+            &[Value::Num(20.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        let expect = 20.0 * 2e-6 * 64.0 + 5e-6 * 160.0;
+        assert!(
+            (e.as_joules() - expect).abs() < 1e-9,
+            "derived prediction {} vs {expect}",
+            e.as_joules()
+        );
+    }
+
+    #[test]
+    fn nonlinear_workload_reports_poor_fit() {
+        // Quadratic call count: the affine model must flag itself.
+        let quadratic = |t: &mut Tracer, x: &[f64]| {
+            let n = (x[0] * x[0]) as u64;
+            for _ in 0..n {
+                t.call("op", &[1.0]);
+            }
+        };
+        let inputs: Vec<Vec<f64>> = (1..=10).map(|n| vec![n as f64]).collect();
+        let report = derive_interface("quad", &["n"], &inputs, quadratic).unwrap();
+        let count_fit = report
+            .fits
+            .iter()
+            .find(|f| f.target == "count(op)")
+            .unwrap();
+        assert!(count_fit.r_squared < 0.99, "r2={}", count_fit.r_squared);
+    }
+
+    #[test]
+    fn multi_feature_workload() {
+        // calls = 2a + 3b, arg = a.
+        let implementation = |t: &mut Tracer, x: &[f64]| {
+            let n = (2.0 * x[0] + 3.0 * x[1]) as u64;
+            for _ in 0..n {
+                t.call("op", &[x[0]]);
+            }
+        };
+        let mut inputs = Vec::new();
+        for a in 1..=4 {
+            for b in 1..=4 {
+                inputs.push(vec![a as f64, b as f64]);
+            }
+        }
+        let report = derive_interface("mf", &["a", "b"], &inputs, implementation).unwrap();
+        assert!(report.worst_r_squared() > 0.9999);
+        let op = parse("interface op { fn op(x) { return 1 mJ * x; } }").unwrap();
+        let linked = link(&report.interface, &[&op]).unwrap();
+        let e = evaluate_energy(
+            &linked,
+            "e_run",
+            &[Value::Num(5.0), Value::Num(2.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        // 16 calls * 1 mJ * 5.
+        assert!((e.as_joules() - 16.0 * 5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_underdetermined_and_empty() {
+        assert!(derive_interface("x", &["a"], &[vec![1.0]], affine_impl).is_err());
+        let silent = |_: &mut Tracer, _: &[f64]| {};
+        let inputs: Vec<Vec<f64>> = (1..=4).map(|n| vec![n as f64]).collect();
+        assert!(derive_interface("x", &["a"], &inputs, silent).is_err());
+        let wrong_arity = vec![vec![1.0, 2.0]; 4];
+        assert!(derive_interface("x", &["a"], &wrong_arity, affine_impl).is_err());
+    }
+
+    #[test]
+    fn tracer_aggregates() {
+        let mut t = Tracer::new();
+        t.call("a", &[1.0, 2.0]);
+        t.call("a", &[3.0, 4.0]);
+        t.call("b", &[]);
+        let agg = t.aggregate();
+        assert_eq!(agg["a"].0, 2);
+        assert_eq!(agg["a"].1, vec![4.0, 6.0]);
+        assert_eq!(agg["b"].0, 1);
+        assert_eq!(t.calls().len(), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests of trace-based derivation: for random affine workloads,
+//! the derived interface must predict unseen inputs exactly.
+
+use ei_core::compose::link;
+use ei_core::ecv::EcvEnv;
+use ei_core::interp::{evaluate_energy, EvalConfig};
+use ei_core::parser::parse;
+use ei_core::value::Value;
+use ei_extract::trace::{derive_interface, Tracer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Workload: `calls = a + b*x` calls to one resource with arg `c + d*x`.
+    /// The derived interface, linked against a linear resource cost, must
+    /// match the direct computation at a held-out input.
+    #[test]
+    fn affine_workloads_derive_exactly(
+        a in 0u64..5, b in 1u64..4, c in 0.0f64..10.0, d in 0.0f64..3.0,
+        probe in 11u64..40,
+    ) {
+        let implementation = |t: &mut Tracer, x: &[f64]| {
+            let n = a + b * x[0] as u64;
+            for _ in 0..n {
+                t.call("op", &[c + d * x[0]]);
+            }
+        };
+        let inputs: Vec<Vec<f64>> = (1..=10).map(|n| vec![n as f64]).collect();
+        let report = derive_interface("w", &["x"], &inputs, implementation).unwrap();
+        prop_assert!(report.worst_r_squared() > 0.9999);
+
+        let res = parse("interface r { fn op(v) { return 1 uJ * v + 3 uJ; } }").unwrap();
+        let linked = link(&report.interface, &[&res]).unwrap();
+        let predicted = evaluate_energy(
+            &linked,
+            "e_run",
+            &[Value::Num(probe as f64)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap()
+        .as_joules();
+
+        let n = (a + b * probe) as f64;
+        let arg = c + d * probe as f64;
+        let expect = n * (1e-6 * arg + 3e-6);
+        let tol = 1e-9 + 1e-6 * expect.abs();
+        prop_assert!(
+            (predicted - expect).abs() < tol,
+            "predicted {predicted}, expected {expect}"
+        );
+    }
+
+    /// Least squares recovers random 3-coefficient models from clean data.
+    #[test]
+    fn least_squares_recovers_random_models(
+        c0 in -10.0f64..10.0, c1 in -5.0f64..5.0, c2 in -2.0f64..2.0,
+    ) {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..24 {
+            let x1 = i as f64;
+            let x2 = ((i * 7) % 11) as f64;
+            rows.push(vec![1.0, x1, x2]);
+            ys.push(c0 + c1 * x1 + c2 * x2);
+        }
+        let fit = ei_extract::fit::least_squares(&rows, &ys).unwrap();
+        prop_assert!((fit.coefficients[0] - c0).abs() < 1e-6);
+        prop_assert!((fit.coefficients[1] - c1).abs() < 1e-6);
+        prop_assert!((fit.coefficients[2] - c2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,261 @@
+//! Vendor-provided hardware energy interfaces.
+//!
+//! §3: "The lowest layer in the system stack would normally consist of
+//! energy interfaces provided by a hardware vendor." This module is that
+//! vendor: it exports EIL interfaces generated from a device configuration.
+//! (When a vendor interface is *not* available, `ei-extract` derives an
+//! approximate one from microbenchmarks instead — the paper's fallback.)
+
+use ei_core::interface::Interface;
+use ei_core::parser::parse;
+
+use crate::cpu::CoreType;
+use crate::gpu::GpuConfig;
+use crate::nic::NicConfig;
+
+/// Builds the vendor energy interface of a GPU.
+///
+/// Exported functions:
+/// - `gpu_kernel(flops, logical_bytes, l2_sectors, vram_sectors)` — dynamic
+///   plus static energy of one kernel, with the kernel duration derived from
+///   the same roofline the device uses;
+/// - `gpu_idle(seconds)` — static power over a duration (§3's idle-state
+///   special input).
+pub fn gpu_interface(cfg: &GpuConfig) -> Interface {
+    let src = format!(
+        r#"
+        interface gpu_{name} "vendor energy interface for {name}" {{
+            fn gpu_kernel(flops, logical_bytes, l2_sectors, vram_sectors) {{
+                let instructions = flops / 2 + logical_bytes / 128;
+                let l1_wavefronts = logical_bytes / 128;
+                let compute_s = flops / {eff_flops};
+                let mem_s = vram_sectors * 32 / {bw};
+                let duration = max(max(compute_s, mem_s), 0.000002);
+                return {e_instr} J * instructions
+                     + {e_l1} J * l1_wavefronts
+                     + {e_l2} J * l2_sectors
+                     + {e_vram} J * vram_sectors
+                     + gpu_idle(duration);
+            }}
+            fn gpu_idle(seconds) {{
+                return {static_w} J * seconds;
+            }}
+        }}
+        "#,
+        name = cfg.name,
+        eff_flops = cfg.peak_flops * cfg.efficiency,
+        bw = cfg.vram_bandwidth,
+        e_instr = cfg.e_instruction.as_joules(),
+        e_l1 = cfg.e_l1_wavefront.as_joules(),
+        e_l2 = cfg.e_l2_sector.as_joules(),
+        e_vram = cfg.e_vram_sector.as_joules(),
+        static_w = cfg.static_power.as_watts(),
+    );
+    parse(&src).expect("generated GPU interface must parse")
+}
+
+/// Builds the vendor energy interface of a CPU core type.
+///
+/// Exported: `cpu_run_<name>(work, opp)` — energy to execute `work` units at
+/// operating point index `opp`; `cpu_idle_<name>(seconds)`.
+pub fn cpu_interface(core: &CoreType) -> Interface {
+    let mut arms = String::new();
+    for (i, opp) in core.opps.iter().enumerate() {
+        let t = format!("work / {}", core.capacity * opp.freq_mhz);
+        if i + 1 < core.opps.len() {
+            arms.push_str(&format!(
+                "if opp == {i} {{ return {p} J * ({t}); }}\n                ",
+                p = opp.active_power.as_watts(),
+            ));
+        } else {
+            arms.push_str(&format!(
+                "return {p} J * ({t});",
+                p = opp.active_power.as_watts(),
+            ));
+        }
+    }
+    let src = format!(
+        r#"
+        interface cpu_{name} "vendor energy interface for a {name} core" {{
+            fn cpu_run_{name}(work, opp) {{
+                {arms}
+            }}
+            fn cpu_idle_{name}(seconds) {{
+                return {idle} J * seconds;
+            }}
+        }}
+        "#,
+        name = core.name,
+        idle = core.idle_power.as_watts(),
+    );
+    parse(&src).expect("generated CPU interface must parse")
+}
+
+/// Builds the vendor energy interface of a NIC.
+///
+/// Exported: `nic_transfer(bytes, awake)` — `awake` is 1 when the radio is
+/// already awake (the §4.2 side effect made explicit as an input), 0 when
+/// the transfer pays the wake-up.
+pub fn nic_interface(name: &str, cfg: &NicConfig) -> Interface {
+    let src = format!(
+        r#"
+        interface nic_{name} "vendor energy interface for {name}" {{
+            fn nic_transfer(bytes, awake) {{
+                let packets = ceil(bytes / 1500);
+                let wake = if awake == 1 {{ 0 J }} else {{ {wake} J }};
+                return wake
+                     + {e_pkt} J * max(packets, 1)
+                     + {e_byte} J * bytes
+                     + {idle} J * (bytes / {bw});
+            }}
+            fn nic_idle(seconds) {{
+                return {idle} J * seconds;
+            }}
+        }}
+        "#,
+        wake = cfg.e_wake.as_joules(),
+        e_pkt = cfg.e_packet.as_joules(),
+        e_byte = cfg.e_byte.as_joules(),
+        idle = cfg.idle_power.as_watts(),
+        bw = cfg.bandwidth,
+    );
+    parse(&src).expect("generated NIC interface must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{AccessKind, ReuseHint};
+    use crate::cpu::big_little;
+    use crate::gpu::{rtx3070, rtx4090, GpuSim, KernelDesc};
+    use crate::nic::{wifi_radio, NicSim};
+    use ei_core::ecv::EcvEnv;
+    use ei_core::interp::{evaluate_energy, EvalConfig};
+    use ei_core::units::TimeSpan;
+    use ei_core::value::Value;
+
+    #[test]
+    fn gpu_vendor_interface_matches_simulator_exactly() {
+        // The vendor knows its own constants, so given the true counters the
+        // interface must reproduce the simulator's energy to rounding.
+        for cfg in [rtx4090(), rtx3070()] {
+            let iface = gpu_interface(&cfg);
+            let mut sim = GpuSim::new(cfg.clone());
+            let buf = sim.alloc(32 << 20).unwrap();
+            let k = KernelDesc::new("k", 3e9, 8.0 * 1024.0 * 1024.0).access(
+                buf,
+                0,
+                16 << 20,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            );
+            let report = sim.launch(&k);
+            let c = sim.counters();
+            let e = evaluate_energy(
+                &iface,
+                "gpu_kernel",
+                &[
+                    Value::Num(3e9),
+                    Value::Num(8.0 * 1024.0 * 1024.0),
+                    Value::Num((c.l2_sectors_read + c.l2_sectors_written) as f64),
+                    Value::Num((c.vram_sectors_read + c.vram_sectors_written) as f64),
+                ],
+                &EcvEnv::new(),
+                0,
+                &EvalConfig::default(),
+            )
+            .unwrap();
+            let rel = (e.as_joules() - report.energy.as_joules()).abs()
+                / report.energy.as_joules();
+            assert!(rel < 1e-9, "{}: rel={rel}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn gpu_idle_interface_matches_simulator() {
+        let cfg = rtx4090();
+        let iface = gpu_interface(&cfg);
+        let mut sim = GpuSim::new(cfg);
+        sim.idle(TimeSpan::seconds(3.0));
+        let e = evaluate_energy(
+            &iface,
+            "gpu_idle",
+            &[Value::Num(3.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!((e.as_joules() - sim.energy().as_joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_vendor_interface_matches_core_model() {
+        let (big, little) = big_little();
+        for core in [big, little] {
+            let iface = cpu_interface(&core);
+            for (i, opp) in core.opps.iter().enumerate() {
+                let work = 3000.0;
+                let truth = core.exec_energy(work, opp);
+                let e = evaluate_energy(
+                    &iface,
+                    &format!("cpu_run_{}", core.name),
+                    &[Value::Num(work), Value::Num(i as f64)],
+                    &EcvEnv::new(),
+                    0,
+                    &EvalConfig::default(),
+                )
+                .unwrap();
+                assert!(
+                    (e.as_joules() - truth.as_joules()).abs() < 1e-12,
+                    "{} opp {i}",
+                    core.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nic_vendor_interface_tracks_simulator() {
+        let cfg = wifi_radio();
+        let iface = nic_interface("wifi", &cfg);
+        let mut sim = NicSim::new(cfg);
+        let truth = sim.transfer(TimeSpan::ZERO, 6000);
+        let e = evaluate_energy(
+            &iface,
+            "nic_transfer",
+            &[Value::Num(6000.0), Value::Num(0.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        let rel = (e.as_joules() - truth.as_joules()).abs() / truth.as_joules();
+        assert!(rel < 1e-9, "rel={rel}");
+    }
+
+    #[test]
+    fn awake_nic_transfer_skips_wake_in_interface_too() {
+        let cfg = wifi_radio();
+        let iface = nic_interface("wifi", &cfg);
+        let asleep = evaluate_energy(
+            &iface,
+            "nic_transfer",
+            &[Value::Num(1500.0), Value::Num(0.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        let awake = evaluate_energy(
+            &iface,
+            "nic_transfer",
+            &[Value::Num(1500.0), Value::Num(1.0)],
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!((asleep - awake).as_joules() > 8e-3);
+    }
+}

@@ -1,0 +1,24 @@
+//! # ei-hw: simulated hardware substrate
+//!
+//! The paper's preliminary experiment (§5) runs GPT-2 on an RTX 4090 and an
+//! RTX 3070 and measures energy with NVML. This crate is the simulated
+//! stand-in: a GPU energy simulator with a segment-LRU L2 (so capacity and
+//! reuse effects are real), a big.LITTLE CPU with DVFS operating points, a
+//! NIC with sleep/wake side effects, and a deliberately coarse
+//! NVML/RAPL-style [`meter::PowerMeter`].
+//!
+//! The per-event energy constants inside a [`gpu::GpuConfig`] play the role
+//! of device physics: honest toolchains (`ei-extract`) learn them only via
+//! microbenchmarks read through the coarse meter, which is what keeps the
+//! Table 1 reproduction non-circular.
+
+pub mod cache;
+pub mod cpu;
+pub mod gpu;
+pub mod interfaces;
+pub mod meter;
+pub mod nic;
+
+pub use cache::{AccessKind, BufferId, ReuseHint};
+pub use gpu::{rtx3070, rtx4090, GpuConfig, GpuSim, KernelDesc};
+pub use meter::{MeterConfig, PowerMeter};

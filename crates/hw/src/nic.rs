@@ -1,0 +1,197 @@
+//! A simple NIC energy model.
+//!
+//! The paper's abstract system stack (Fig. 2) includes a NIC among the
+//! hardware resources; the web-service scenario uses it for remote cache
+//! lookups. The model is the classic affine one: idle power, per-packet
+//! cost, per-byte cost — with a wake-up side effect (§4.2's WiFi example):
+//! after a configurable idle window the radio sleeps, and the next packet
+//! pays a wake-up energy.
+
+use serde::{Deserialize, Serialize};
+
+use ei_core::units::{Energy, Power, TimeSpan};
+
+/// NIC configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NicConfig {
+    /// Idle (awake) power draw.
+    pub idle_power: Power,
+    /// Energy per transmitted/received packet (header processing).
+    pub e_packet: Energy,
+    /// Energy per payload byte.
+    pub e_byte: Energy,
+    /// Energy to wake the interface from sleep.
+    pub e_wake: Energy,
+    /// The interface sleeps after this much inactivity.
+    pub sleep_after: TimeSpan,
+    /// Link bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+/// A 10 GbE-class NIC.
+pub fn datacenter_nic() -> NicConfig {
+    NicConfig {
+        idle_power: Power::watts(4.0),
+        e_packet: Energy::microjoules(1.5),
+        e_byte: Energy::nanojoules(4.0),
+        e_wake: Energy::millijoules(0.0),
+        sleep_after: TimeSpan::seconds(f64::INFINITY),
+        bandwidth: 1.25e9,
+    }
+}
+
+/// A WiFi-class radio with aggressive sleep (the §4.2 side-effect example).
+pub fn wifi_radio() -> NicConfig {
+    NicConfig {
+        idle_power: Power::milliwatts(220.0),
+        e_packet: Energy::microjoules(40.0),
+        e_byte: Energy::nanojoules(18.0),
+        e_wake: Energy::millijoules(9.0),
+        sleep_after: TimeSpan::millis(80.0),
+        bandwidth: 30e6,
+    }
+}
+
+/// NIC simulator state.
+#[derive(Debug, Clone)]
+pub struct NicSim {
+    config: NicConfig,
+    last_activity: f64,
+    awake: bool,
+    energy: Energy,
+    idle_energy: Energy,
+    packets: u64,
+    bytes: u64,
+    wakeups: u64,
+}
+
+impl NicSim {
+    /// Creates a NIC that starts asleep at t = 0.
+    pub fn new(config: NicConfig) -> Self {
+        NicSim {
+            config,
+            last_activity: 0.0,
+            awake: false,
+            energy: Energy::ZERO,
+            idle_energy: Energy::ZERO,
+            packets: 0,
+            bytes: 0,
+            wakeups: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.config
+    }
+
+    /// Cumulative energy attributed to transfers (marginal).
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Cumulative awake-idle energy between transfers (infrastructure
+    /// energy, accounted separately from per-request marginal costs).
+    pub fn idle_energy(&self) -> Energy {
+        self.idle_energy
+    }
+
+    /// `(packets, bytes, wakeups)` so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.packets, self.bytes, self.wakeups)
+    }
+
+    /// Sends (or receives) a message of `bytes` at absolute time `now`,
+    /// split into 1500-byte packets. Returns the *marginal* energy of this
+    /// message (wake-up if the radio slept, packets, bytes, transmit time);
+    /// awake-idle energy between transfers accrues to [`Self::idle_energy`]
+    /// instead — it belongs to the interface's idle-state input (§3), not
+    /// to any one request.
+    pub fn transfer(&mut self, now: TimeSpan, bytes: u64) -> Energy {
+        let now_s = now.as_seconds();
+        let mut e = Energy::ZERO;
+
+        if self.awake {
+            let gap = (now_s - self.last_activity).max(0.0);
+            if gap > self.config.sleep_after.as_seconds() {
+                // Slept after the window; idle only for the window.
+                self.idle_energy += self.config.idle_power.over(self.config.sleep_after);
+                self.awake = false;
+            } else {
+                self.idle_energy += self.config.idle_power.over(TimeSpan::seconds(gap));
+            }
+        }
+        if !self.awake {
+            e += self.config.e_wake;
+            self.wakeups += 1;
+            self.awake = true;
+        }
+
+        let packets = bytes.div_ceil(1500).max(1);
+        e += self.config.e_packet * packets as f64;
+        e += self.config.e_byte * bytes as f64;
+        let tx_time = bytes as f64 / self.config.bandwidth;
+        e += self.config.idle_power.over(TimeSpan::seconds(tx_time));
+
+        self.packets += packets;
+        self.bytes += bytes;
+        self.last_activity = now_s + tx_time;
+        self.energy += e;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_transfer_pays_wakeup() {
+        let mut nic = NicSim::new(wifi_radio());
+        let e = nic.transfer(TimeSpan::ZERO, 1500);
+        // Wake 9 mJ dominates one packet (40 uJ) + bytes (27 uJ).
+        assert!(e.as_joules() > 9e-3);
+        assert_eq!(nic.counters().2, 1);
+    }
+
+    #[test]
+    fn back_to_back_transfers_skip_wakeup() {
+        let mut nic = NicSim::new(wifi_radio());
+        nic.transfer(TimeSpan::ZERO, 1500);
+        let e2 = nic.transfer(TimeSpan::millis(1.0), 1500);
+        assert!(e2.as_joules() < 1e-3, "no second wakeup: {e2}");
+        assert_eq!(nic.counters().2, 1);
+    }
+
+    #[test]
+    fn long_gap_sleeps_and_rewakes() {
+        let mut nic = NicSim::new(wifi_radio());
+        nic.transfer(TimeSpan::ZERO, 1500);
+        let e2 = nic.transfer(TimeSpan::seconds(10.0), 1500);
+        assert!(e2.as_joules() > 9e-3);
+        assert_eq!(nic.counters().2, 2);
+        // Idle tail is capped at the sleep window, not 10 s.
+        assert!(e2.as_joules() < 9e-3 + 0.22 * 0.081 + 1e-3);
+    }
+
+    #[test]
+    fn packet_and_byte_accounting() {
+        let mut nic = NicSim::new(datacenter_nic());
+        nic.transfer(TimeSpan::ZERO, 4000);
+        let (packets, bytes, _) = nic.counters();
+        assert_eq!(packets, 3);
+        assert_eq!(bytes, 4000);
+        // Datacenter NIC never sleeps (infinite window).
+        nic.transfer(TimeSpan::seconds(100.0), 10);
+        assert_eq!(nic.counters().2, 1, "only the initial wake");
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let mut a = NicSim::new(datacenter_nic());
+        let mut b = NicSim::new(datacenter_nic());
+        let ea = a.transfer(TimeSpan::ZERO, 1_000_000);
+        let eb = b.transfer(TimeSpan::ZERO, 2_000_000);
+        assert!(eb.as_joules() > 1.8 * ea.as_joules());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the hardware substrate: cache accounting
+//! invariants, GPU energy decomposition, and meter behaviour under random
+//! workloads.
+
+use proptest::prelude::*;
+
+use ei_core::units::{Energy, TimeSpan};
+use ei_hw::cache::{AccessKind, BufferId, ReuseHint, SegmentCache};
+use ei_hw::gpu::{rtx3070, rtx4090, GpuSim, KernelDesc};
+use ei_hw::meter::{MeterConfig, PowerMeter};
+
+/// A random access: buffer, offset, length, read/write, hint.
+fn arb_access() -> impl Strategy<Value = (u32, u64, u64, bool, bool)> {
+    (
+        0u32..4,
+        0u64..(1 << 20),
+        1u64..(256 * 1024),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every access, hit + miss sectors equals the requested sectors.
+    #[test]
+    fn cache_sector_conservation(accesses in proptest::collection::vec(arb_access(), 1..60)) {
+        let mut c = SegmentCache::new("L2", 256 * 1024, 16 * 1024, 32);
+        for (buf, off, len, write, stream) in accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let hint = if stream { ReuseHint::Streaming } else { ReuseHint::Temporal };
+            let r = c.access(BufferId(buf), off, len, kind, hint);
+            let requested = len.div_ceil(32);
+            prop_assert_eq!(r.hit_sectors + r.miss_sectors, requested);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hit_sectors + s.miss_sectors, s.read_sectors + s.write_sectors);
+    }
+
+    /// Residency never exceeds capacity, and resetting always empties.
+    #[test]
+    fn cache_capacity_respected(accesses in proptest::collection::vec(arb_access(), 1..60)) {
+        let cap = 128 * 1024;
+        let mut c = SegmentCache::new("L2", cap, 16 * 1024, 32);
+        for (buf, off, len, write, stream) in accesses {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let hint = if stream { ReuseHint::Streaming } else { ReuseHint::Temporal };
+            c.access(BufferId(buf), off, len, kind, hint);
+            prop_assert!(c.resident_bytes() <= cap);
+        }
+        c.reset();
+        prop_assert_eq!(c.resident_bytes(), 0);
+    }
+
+    /// Two identical access sequences produce identical statistics
+    /// (determinism across HashMap seeds).
+    #[test]
+    fn cache_is_deterministic(accesses in proptest::collection::vec(arb_access(), 1..60)) {
+        let run = || {
+            let mut c = SegmentCache::new("L2", 64 * 1024, 16 * 1024, 32);
+            for (buf, off, len, write, stream) in &accesses {
+                let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+                let hint = if *stream { ReuseHint::Streaming } else { ReuseHint::Temporal };
+                c.access(BufferId(*buf), *off, *len, kind, hint);
+            }
+            (c.stats(), c.writeback_sectors())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The GPU's total energy always decomposes exactly into the five
+    /// counter classes (the §5 metric identity), for any kernel stream.
+    #[test]
+    fn gpu_energy_decomposition_identity(
+        kernels in proptest::collection::vec(
+            (1.0f64..1e9, 0.0f64..1e7, 0u64..(8 << 20), proptest::bool::ANY),
+            1..20
+        )
+    ) {
+        for cfg in [rtx4090(), rtx3070()] {
+            let mut g = GpuSim::new(cfg);
+            let buf = g.alloc(16 << 20).unwrap();
+            for (flops, logical, len, stream) in &kernels {
+                let hint = if *stream { ReuseHint::Streaming } else { ReuseHint::Temporal };
+                let k = KernelDesc::new("k", *flops, *logical).access(
+                    buf,
+                    0,
+                    len + 1,
+                    AccessKind::Read,
+                    hint,
+                );
+                g.launch(&k);
+            }
+            let c = g.counters();
+            let cfg = g.config();
+            let rebuilt = cfg.e_instruction * c.instructions
+                + cfg.e_l1_wavefront * c.l1_wavefronts
+                + cfg.e_l2_sector * ((c.l2_sectors_read + c.l2_sectors_written) as f64)
+                + cfg.e_vram_sector
+                    * ((c.vram_sectors_read + c.vram_sectors_written) as f64)
+                + cfg.static_power.over(c.elapsed);
+            let rel = (rebuilt.as_joules() - g.energy().as_joules()).abs()
+                / g.energy().as_joules().max(1e-12);
+            prop_assert!(rel < 1e-9, "decomposition broke: {rel}");
+        }
+    }
+
+    /// Meter readings are always monotone and never exceed truth by more
+    /// than the noise bound.
+    #[test]
+    fn meter_monotone_and_bounded(
+        steps in proptest::collection::vec((0.001f64..5.0, 0.001f64..1.0), 1..50)
+    ) {
+        let m = PowerMeter::new(MeterConfig::rapl());
+        let mut truth = 0.0;
+        let mut t = 0.0;
+        let mut prev = Energy::ZERO;
+        for (de, dt) in steps {
+            truth += de;
+            t += dt;
+            let r = m.read(Energy::joules(truth), TimeSpan::seconds(t));
+            prop_assert!(r >= prev);
+            prop_assert!(r.as_joules() <= truth * 1.0031 + 1e-9);
+            prev = r;
+        }
+    }
+
+    /// Kernel energy is monotone in FLOPs, all else equal.
+    #[test]
+    fn gpu_energy_monotone_in_flops(base in 1e6f64..1e9, extra in 1e6f64..1e9) {
+        let run = |flops: f64| {
+            let mut g = GpuSim::new(rtx4090());
+            let buf = g.alloc(1 << 20).unwrap();
+            g.launch(&KernelDesc::new("k", flops, 1e4).access(
+                buf,
+                0,
+                4096,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            ))
+            .energy
+        };
+        prop_assert!(run(base + extra) > run(base));
+    }
+}

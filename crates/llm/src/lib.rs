@@ -1,0 +1,21 @@
+//! # ei-llm: GPT-2 inference workload and its energy interface
+//!
+//! The paper's §5 experiment: "we used the energy interface to predict the
+//! LLM's energy consumption on autoregressive text generation for up to 200
+//! tokens, and compared it to the actual energy consumption." This crate
+//! provides both sides:
+//!
+//! - [`engine::Gpt2Engine`]: the ground truth — the exact kernel stream of
+//!   GPT-2 generation executed on the simulated GPU (`ei-hw`), with the KV
+//!   cache living or dying in the simulated L2;
+//! - [`interface::gpt2_interface`]: the manually-derived EIL energy
+//!   interface, which predicts the same run analytically via an extern
+//!   hardware interface.
+
+pub mod engine;
+pub mod interface;
+pub mod model;
+
+pub use engine::{GenerationReport, Gpt2Engine};
+pub use interface::gpt2_interface;
+pub use model::{gpt2_medium, gpt2_small, Gpt2Config};

@@ -1,0 +1,336 @@
+//! Interface-aware cluster placement (the §1 Kubernetes scenario).
+//!
+//! "A cluster scheduler like Kubernetes faces similar difficulties: a
+//! memory-intensive application might consume less energy on a big-memory
+//! node than on a compute node, but Kubernetes wouldn't know ahead of time
+//! what the application will do."
+//!
+//! Nodes publish an energy interface `e_app(cpu_work, mem_accesses)`
+//! derived from their hardware; apps publish their resource features. The
+//! baseline scheduler packs by CPU request alone (what a requests/limits
+//! scheduler sees); the interface-aware scheduler evaluates every
+//! candidate node's interface on the app's features and picks the cheapest
+//! feasible node.
+
+use ei_core::ecv::EcvEnv;
+use ei_core::interp::{evaluate_energy, EvalConfig};
+use ei_core::interface::Interface;
+use ei_core::parser::parse;
+use ei_core::units::Energy;
+use ei_core::value::Value;
+
+/// A node type with its energy characteristics.
+#[derive(Debug, Clone)]
+pub struct NodeType {
+    /// Type name.
+    pub name: String,
+    /// Energy per unit of CPU work.
+    pub e_cpu: Energy,
+    /// Energy per memory access when the working set fits local memory.
+    pub e_mem_fit: Energy,
+    /// Energy per memory access when it does not (remote/swap penalty).
+    pub e_mem_spill: Energy,
+    /// Local memory capacity, in working-set units.
+    pub mem_capacity: f64,
+    /// CPU slots per node.
+    pub cpu_slots: f64,
+}
+
+/// A compute-optimized node: cheap CPU work, small memory.
+pub fn compute_node() -> NodeType {
+    NodeType {
+        name: "compute".into(),
+        e_cpu: Energy::millijoules(0.8),
+        e_mem_fit: Energy::microjoules(30.0),
+        e_mem_spill: Energy::microjoules(400.0),
+        mem_capacity: 32.0,
+        cpu_slots: 16.0,
+    }
+}
+
+/// A big-memory node: pricier CPU work, huge memory.
+pub fn bigmem_node() -> NodeType {
+    NodeType {
+        name: "bigmem".into(),
+        e_cpu: Energy::millijoules(1.3),
+        e_mem_fit: Energy::microjoules(35.0),
+        e_mem_spill: Energy::microjoules(400.0),
+        mem_capacity: 256.0,
+        cpu_slots: 16.0,
+    }
+}
+
+impl NodeType {
+    /// The node's published energy interface:
+    /// `e_app(cpu_work, mem_accesses, working_set)`.
+    pub fn interface(&self) -> Interface {
+        let src = format!(
+            r#"
+            interface node_{name} "energy interface of a {name} node" {{
+                fn e_app(cpu_work, mem_accesses, working_set) {{
+                    let mem_unit = if working_set <= {cap} {{ {fit} J }} else {{ {spill} J }};
+                    return {cpu} J * cpu_work + mem_unit * mem_accesses;
+                }}
+            }}
+            "#,
+            name = self.name,
+            cap = self.mem_capacity,
+            cpu = self.e_cpu.as_joules(),
+            fit = self.e_mem_fit.as_joules(),
+            spill = self.e_mem_spill.as_joules(),
+        );
+        parse(&src).expect("node interface must parse")
+    }
+
+    /// Ground-truth energy of running an app on this node.
+    pub fn run_energy(&self, app: &AppSpec) -> Energy {
+        let mem_unit = if app.working_set <= self.mem_capacity {
+            self.e_mem_fit
+        } else {
+            self.e_mem_spill
+        };
+        self.e_cpu * app.cpu_work + mem_unit * app.mem_accesses
+    }
+}
+
+/// An application (pod) with its resource features.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// App name.
+    pub name: String,
+    /// CPU work units.
+    pub cpu_work: f64,
+    /// Memory accesses (thousands).
+    pub mem_accesses: f64,
+    /// Working-set size, in the same units as node memory capacity.
+    pub working_set: f64,
+    /// CPU slots requested (what the baseline scheduler sees).
+    pub cpu_request: f64,
+}
+
+/// The cluster: a fleet of nodes of the two types.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// `(node type, free CPU slots)` per node.
+    pub nodes: Vec<(NodeType, f64)>,
+}
+
+impl Cluster {
+    /// A cluster of `n_compute` compute and `n_bigmem` big-memory nodes.
+    pub fn new(n_compute: usize, n_bigmem: usize) -> Self {
+        let mut nodes = Vec::new();
+        for _ in 0..n_compute {
+            let t = compute_node();
+            let slots = t.cpu_slots;
+            nodes.push((t, slots));
+        }
+        for _ in 0..n_bigmem {
+            let t = bigmem_node();
+            let slots = t.cpu_slots;
+            nodes.push((t, slots));
+        }
+        Cluster { nodes }
+    }
+}
+
+/// The placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Requests/limits bin packing: first node with free CPU slots
+    /// (Kubernetes-without-energy-knowledge).
+    CpuRequestsOnly,
+    /// Evaluate every candidate node's energy interface; cheapest wins.
+    EnergyInterface,
+}
+
+/// Result of placing a pod set.
+#[derive(Debug, Clone)]
+pub struct PlacementReport {
+    /// Total energy of running all pods where they were placed.
+    pub energy: Energy,
+    /// `(app, node type)` assignments.
+    pub assignments: Vec<(String, String)>,
+    /// Pods that could not be placed.
+    pub unplaced: usize,
+}
+
+/// Places `apps` on `cluster` under `policy` and totals the energy.
+pub fn place(cluster: &Cluster, apps: &[AppSpec], policy: Policy) -> PlacementReport {
+    let mut free: Vec<f64> = cluster.nodes.iter().map(|(_, s)| *s).collect();
+    let mut energy = Energy::ZERO;
+    let mut assignments = Vec::new();
+    let mut unplaced = 0;
+    let cfg = EvalConfig::default();
+    let env = EcvEnv::new();
+
+    // Pre-built interfaces per node.
+    let ifaces: Vec<Interface> = cluster.nodes.iter().map(|(t, _)| t.interface()).collect();
+
+    for app in apps {
+        let candidate = match policy {
+            Policy::CpuRequestsOnly => (0..cluster.nodes.len())
+                .find(|&i| free[i] >= app.cpu_request),
+            Policy::EnergyInterface => {
+                let mut best: Option<(usize, Energy)> = None;
+                for i in 0..cluster.nodes.len() {
+                    if free[i] < app.cpu_request {
+                        continue;
+                    }
+                    let e = evaluate_energy(
+                        &ifaces[i],
+                        "e_app",
+                        &[
+                            Value::Num(app.cpu_work),
+                            Value::Num(app.mem_accesses),
+                            Value::Num(app.working_set),
+                        ],
+                        &env,
+                        0,
+                        &cfg,
+                    )
+                    .expect("node interface evaluates");
+                    if best.as_ref().is_none_or(|(_, be)| e < *be) {
+                        best = Some((i, e));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+        };
+        match candidate {
+            Some(i) => {
+                free[i] -= app.cpu_request;
+                energy += cluster.nodes[i].0.run_energy(app);
+                assignments.push((app.name.clone(), cluster.nodes[i].0.name.clone()));
+            }
+            None => unplaced += 1,
+        }
+    }
+    PlacementReport {
+        energy,
+        assignments,
+        unplaced,
+    }
+}
+
+/// A mixed pod set: `n` compute-bound and `n` memory-intensive apps.
+pub fn mixed_pods(n: usize) -> Vec<AppSpec> {
+    let mut pods = Vec::new();
+    for i in 0..n {
+        pods.push(AppSpec {
+            name: format!("web-{i}"),
+            cpu_work: 100.0,
+            mem_accesses: 50.0,
+            working_set: 8.0,
+            cpu_request: 2.0,
+        });
+        pods.push(AppSpec {
+            name: format!("analytics-{i}"),
+            cpu_work: 40.0,
+            mem_accesses: 900.0,
+            working_set: 120.0,
+            cpu_request: 2.0,
+        });
+    }
+    pods
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_interface_matches_ground_truth() {
+        for node in [compute_node(), bigmem_node()] {
+            let iface = node.interface();
+            for app in mixed_pods(1) {
+                let pred = evaluate_energy(
+                    &iface,
+                    "e_app",
+                    &[
+                        Value::Num(app.cpu_work),
+                        Value::Num(app.mem_accesses),
+                        Value::Num(app.working_set),
+                    ],
+                    &EcvEnv::new(),
+                    0,
+                    &EvalConfig::default(),
+                )
+                .unwrap();
+                let truth = node.run_energy(&app);
+                assert!(
+                    (pred.as_joules() - truth.as_joules()).abs() < 1e-12,
+                    "{} on {}",
+                    app.name,
+                    node.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_app_cheaper_on_bigmem() {
+        let app = &mixed_pods(1)[1];
+        assert!(app.working_set > compute_node().mem_capacity);
+        let on_compute = compute_node().run_energy(app);
+        let on_bigmem = bigmem_node().run_energy(app);
+        assert!(on_bigmem < on_compute);
+    }
+
+    #[test]
+    fn compute_app_cheaper_on_compute() {
+        let app = &mixed_pods(1)[0];
+        let on_compute = compute_node().run_energy(app);
+        let on_bigmem = bigmem_node().run_energy(app);
+        assert!(on_compute < on_bigmem);
+    }
+
+    #[test]
+    fn interface_policy_beats_requests_only() {
+        let cluster = Cluster::new(4, 4);
+        let pods = mixed_pods(12);
+        let base = place(&cluster, &pods, Policy::CpuRequestsOnly);
+        let smart = place(&cluster, &pods, Policy::EnergyInterface);
+        assert_eq!(base.unplaced, 0);
+        assert_eq!(smart.unplaced, 0);
+        assert!(
+            smart.energy < base.energy,
+            "interface {} must beat requests-only {}",
+            smart.energy,
+            base.energy
+        );
+        // The interface policy sends every analytics pod to bigmem.
+        for (app, node) in &smart.assignments {
+            if app.starts_with("analytics") {
+                assert_eq!(node, "bigmem");
+            } else {
+                assert_eq!(node, "compute");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_limits_respected() {
+        // 1 node with 16 slots, pods requesting 2 each: 8 fit.
+        let cluster = Cluster::new(1, 0);
+        let pods = mixed_pods(6); // 12 pods.
+        let r = place(&cluster, &pods, Policy::CpuRequestsOnly);
+        assert_eq!(r.assignments.len(), 8);
+        assert_eq!(r.unplaced, 4);
+    }
+
+    #[test]
+    fn full_bigmem_falls_back_gracefully() {
+        // Interface policy with bigmem full: analytics pods go to compute
+        // (feasible but pricier) rather than staying unplaced.
+        let cluster = Cluster::new(4, 1);
+        let pods = mixed_pods(10); // 10 analytics pods need 20 slots; 8 fit on 1 bigmem.
+        let r = place(&cluster, &pods, Policy::EnergyInterface);
+        assert_eq!(r.unplaced, 0);
+        let on_compute = r
+            .assignments
+            .iter()
+            .filter(|(a, n)| a.starts_with("analytics") && n == "compute")
+            .count();
+        assert!(on_compute >= 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ei-sched: resource managers that use energy interfaces
+//!
+//! §1 of the paper motivates energy clarity with three resource-management
+//! scenarios; each is implemented here as a comparison between a
+//! status-quo policy and an interface-aware one:
+//!
+//! - [`eas`]: big.LITTLE scheduling — utilization-proxy prediction (what
+//!   Linux EAS does) vs asking the task's energy interface; plus the §2
+//!   marginal-energy consolidation question.
+//! - [`cluster`]: Kubernetes-style placement by CPU requests vs evaluating
+//!   each node's published energy interface.
+//! - [`fuzz`]: the ClusterFuzz capacity-planning questions answered by
+//!   executing the fleet's energy interface, validated against a campaign
+//!   simulator.
+//! - [`provision`]: the §3 power-interface extension — peak-power-aware
+//!   rack provisioning under a power cap.
+
+pub mod cluster;
+pub mod eas;
+pub mod fuzz;
+pub mod provision;
+
+pub use cluster::{place, Cluster, Policy};
+pub use eas::{marginal_energy, run_schedule, Predictor, SchedConfig, TaskSpec};
+pub use fuzz::{plan, simulate_campaign, FuzzCampaign};
+pub use provision::{timeline_peak, ProvisionPolicy, Workload};

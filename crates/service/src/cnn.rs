@@ -1,0 +1,252 @@
+//! The CNN inference workload of Fig. 1, on the accelerator.
+//!
+//! Fig. 1's `E_cnn_forward` composes 8 conv2d blocks (whose cost scales
+//! with the number of *non-zero* input elements — the zero-skipping
+//! optimization of [33, 63]), 8 ReLUs, and 16 MLP blocks over a 256-wide
+//! embedding. This module runs that exact kernel stream on the simulated
+//! GPU and also exports the leaf energies in abstract units (`conv2d`,
+//! `relu`, `mlp`) with a calibration, §3's "energy for a 2D convolution"
+//! story.
+
+use ei_core::units::{Calibration, Energy};
+use serde::{Deserialize, Serialize};
+use ei_hw::cache::{AccessKind, BufferId, ReuseHint};
+use ei_hw::gpu::{GpuSim, KernelDesc};
+
+/// CNN architecture constants (mirrors Fig. 1).
+pub const N_CONV: u32 = 8;
+/// ReLU blocks per forward pass.
+pub const N_RELU: u32 = 8;
+/// MLP blocks per forward pass.
+pub const N_MLP: u32 = 16;
+/// Embedding width.
+pub const N_EMBEDDING: u64 = 256;
+
+/// FLOPs of one conv2d block per non-zero input element.
+pub const CONV_FLOPS_PER_ELEM: f64 = 180.0;
+/// FLOPs of one ReLU block per embedding element.
+pub const RELU_FLOPS_PER_ELEM: f64 = 1.0;
+/// FLOPs of one MLP block (dense 256×256 per embedding vector).
+pub const MLP_FLOPS: f64 = 2.0 * 256.0 * 256.0;
+
+/// The CNN model resident on an accelerator.
+#[derive(Debug)]
+pub struct CnnModel {
+    gpu: GpuSim,
+    conv_weights: BufferId,
+    mlp_weights: BufferId,
+    act: BufferId,
+}
+
+impl CnnModel {
+    /// Loads the model onto the device.
+    pub fn new(mut gpu: GpuSim) -> Option<Self> {
+        let conv_weights = gpu.alloc(N_CONV as u64 * 1 << 20)?;
+        let mlp_weights = gpu.alloc(N_MLP as u64 * 256 * 256 * 2)?;
+        let act = gpu.alloc(8 << 20)?;
+        Some(CnnModel {
+            gpu,
+            conv_weights,
+            mlp_weights,
+            act,
+        })
+    }
+
+    /// Access to the device (for meters).
+    pub fn gpu(&self) -> &GpuSim {
+        &self.gpu
+    }
+
+    /// Runs one forward pass over an image of `image_size` elements of
+    /// which `image_zeros` are zero. Returns the true energy consumed.
+    pub fn forward(&mut self, image_size: u64, image_zeros: u64) -> Energy {
+        let nonzero = image_size.saturating_sub(image_zeros);
+        let e0 = self.gpu.energy();
+
+        for i in 0..N_CONV as u64 {
+            let flops = CONV_FLOPS_PER_ELEM * nonzero as f64;
+            let w_bytes = 1 << 20;
+            let k = KernelDesc::new("conv2d", flops, w_bytes as f64 + flops * 0.125)
+                .access(
+                    self.conv_weights,
+                    i * (1 << 20),
+                    w_bytes,
+                    AccessKind::Read,
+                    ReuseHint::Streaming,
+                )
+                .access(
+                    self.act,
+                    0,
+                    (image_size * 2).min(8 << 20),
+                    AccessKind::Read,
+                    ReuseHint::Temporal,
+                );
+            self.gpu.launch(&k);
+        }
+        for _ in 0..N_RELU {
+            let flops = RELU_FLOPS_PER_ELEM * N_EMBEDDING as f64;
+            let k = KernelDesc::new("relu", flops, N_EMBEDDING as f64 * 2.0).access(
+                self.act,
+                0,
+                N_EMBEDDING * 2,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            );
+            self.gpu.launch(&k);
+        }
+        for i in 0..N_MLP as u64 {
+            let w_bytes = 256 * 256 * 2;
+            let k = KernelDesc::new("mlp", MLP_FLOPS, w_bytes as f64 + MLP_FLOPS * 0.125)
+                .access(
+                    self.mlp_weights,
+                    i * w_bytes,
+                    w_bytes,
+                    AccessKind::Read,
+                    ReuseHint::Streaming,
+                )
+                .access(
+                    self.act,
+                    0,
+                    N_EMBEDDING * 2,
+                    AccessKind::Read,
+                    ReuseHint::Temporal,
+                );
+            self.gpu.launch(&k);
+        }
+        self.gpu.energy() - e0
+    }
+
+    /// Runs a single conv block on `n` non-zero elements (calibration probe).
+    fn conv_probe(&mut self, n: u64) -> Energy {
+        let e0 = self.gpu.energy();
+        let flops = CONV_FLOPS_PER_ELEM * n as f64;
+        self.gpu.launch(
+            &KernelDesc::new("conv2d", flops, (1u64 << 20) as f64 + flops * 0.125)
+                .access(
+                    self.conv_weights,
+                    0,
+                    1 << 20,
+                    AccessKind::Read,
+                    ReuseHint::Streaming,
+                )
+                .access(self.act, 0, n * 2, AccessKind::Read, ReuseHint::Temporal),
+        );
+        self.gpu.energy() - e0
+    }
+
+    /// Measures the calibration on this device: the `relu` and `mlp`
+    /// abstract units (fixed-cost blocks, §3's "energy for a ReLU"), and an
+    /// affine model of one conv2d block — conv cost has a fixed part
+    /// (weight streaming, launch) plus a per-non-zero-element part
+    /// (zero-skipping makes the variable part proportional to non-zeros).
+    pub fn calibrate(&mut self) -> CnnCalibration {
+        // Two-point probe for the affine conv model.
+        let e1 = self.conv_probe(1024);
+        let e2 = self.conv_probe(9216);
+        let per_elem = (e2 - e1) / (9216.0 - 1024.0);
+        let fixed = e1 - per_elem * 1024.0;
+
+        let e0 = self.gpu.energy();
+        self.gpu.launch(
+            &KernelDesc::new("relu", N_EMBEDDING as f64, N_EMBEDDING as f64 * 2.0).access(
+                self.act,
+                0,
+                N_EMBEDDING * 2,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            ),
+        );
+        let relu = self.gpu.energy() - e0;
+
+        let e0 = self.gpu.energy();
+        self.gpu.launch(
+            &KernelDesc::new("mlp", MLP_FLOPS, (256u64 * 256 * 2) as f64 + MLP_FLOPS * 0.125)
+                .access(
+                    self.mlp_weights,
+                    0,
+                    256 * 256 * 2,
+                    AccessKind::Read,
+                    ReuseHint::Streaming,
+                )
+                .access(self.act, 0, N_EMBEDDING * 2, AccessKind::Read, ReuseHint::Temporal),
+        );
+        let mlp = self.gpu.energy() - e0;
+
+        CnnCalibration {
+            units: Calibration::from_pairs([("relu", relu), ("mlp", mlp)]),
+            conv_fixed: fixed,
+            conv_per_elem: per_elem,
+        }
+    }
+}
+
+/// Measured calibration of the CNN's building blocks on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CnnCalibration {
+    /// Joule values of the `relu` and `mlp` abstract units.
+    pub units: Calibration,
+    /// Fixed cost of one conv2d block (weight streaming, launch).
+    pub conv_fixed: Energy,
+    /// Additional cost per non-zero input element of one conv2d block.
+    pub conv_per_elem: Energy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ei_hw::gpu::rtx3070;
+
+    fn model() -> CnnModel {
+        CnnModel::new(GpuSim::new(rtx3070())).expect("model fits")
+    }
+
+    #[test]
+    fn zero_skipping_saves_energy() {
+        let mut m = model();
+        let dense = m.forward(4096, 0);
+        let sparse = m.forward(4096, 3072);
+        assert!(
+            sparse < dense,
+            "sparse {sparse} must be cheaper than dense {dense}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_image_size() {
+        let mut m = model();
+        let small = m.forward(1024, 0);
+        let big = m.forward(65536, 0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_ordered() {
+        let mut m = model();
+        let cal = m.calibrate();
+        let relu = cal.units.get("relu").unwrap();
+        let mlp = cal.units.get("mlp").unwrap();
+        assert!(cal.conv_fixed.as_joules() > 0.0);
+        assert!(cal.conv_per_elem.as_joules() > 0.0);
+        assert!(relu.as_joules() > 0.0);
+        assert!(mlp.as_joules() > relu.as_joules(), "mlp does far more work");
+    }
+
+    #[test]
+    fn affine_conv_model_predicts_probes() {
+        let mut m = model();
+        let cal = m.calibrate();
+        // A fresh probe at an unseen size must fit the affine model.
+        let n = 32768u64;
+        let truth = m.conv_probe(n);
+        let pred = cal.conv_fixed + cal.conv_per_elem * n as f64;
+        let rel = (pred.as_joules() - truth.as_joules()).abs() / truth.as_joules();
+        assert!(rel < 0.05, "affine conv model off by {rel}");
+    }
+
+    #[test]
+    fn fully_zero_image_still_pays_relu_and_mlp() {
+        let mut m = model();
+        let e = m.forward(4096, 4096);
+        assert!(e.as_joules() > 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # ei-service: the Fig. 1 ML-model web service
+//!
+//! The paper's running example (Fig. 1 + Fig. 2): a web service that
+//! answers image-recognition requests from a request cache when possible
+//! and otherwise runs a CNN on an accelerator. This crate provides the real
+//! system (two-tier [`cache`], accelerator-resident [`cnn`], the composed
+//! [`service`]) and Fig. 1's energy interface with measured constants —
+//! validated end to end against the running service.
+
+pub mod cache;
+pub mod cnn;
+pub mod service;
+
+pub use cache::{CacheEnergy, CacheOutcome, RequestCache};
+pub use cnn::{CnnCalibration, CnnModel};
+pub use service::{
+    fig1_calibration, fig1_interface, request_stream, MlWebService, Request,
+    MAX_RESPONSE_LEN,
+};

@@ -1,0 +1,56 @@
+//! The paper's §1 Linux-EAS scenario: scheduling a bimodal (video
+//! transcoding-like) task on a big.LITTLE system, with the utilization
+//! proxy vs the task's energy interface.
+//!
+//! ```sh
+//! cargo run --example energy_aware_scheduling
+//! ```
+
+use energy_clarity::sched::eas::{
+    marginal_energy, run_schedule, Predictor, SchedConfig, TaskSpec,
+};
+
+fn main() {
+    let cfg = SchedConfig::default();
+    let task = TaskSpec::bimodal("transcode", 30.0, 1.0, 4, 4, 2000);
+    println!(
+        "workload: bimodal transcoding — bursts of 30 work units (4 quanta) \n\
+         alternating with troughs of 1 (4 quanta), 2000 quanta total\n"
+    );
+
+    println!("{:<22} {:>10}  {:>8}", "predictor", "energy", "misses");
+    for (name, p) in [
+        ("utilization proxy", Predictor::UtilizationProxy),
+        ("conservative proxy", Predictor::ConservativeProxy),
+        ("energy interface", Predictor::EnergyInterface),
+    ] {
+        let r = run_schedule(&task, p, &cfg);
+        println!(
+            "{:<22} {:>8.3} J  {:>8}",
+            name,
+            r.energy.as_joules(),
+            r.missed_quanta
+        );
+    }
+
+    println!(
+        "\nThe plain proxy is cheap only because it drops deadlines (dropped\n\
+         frames); padded to meet QoS it over-provisions. The interface-aware\n\
+         scheduler knows each quantum's demand ahead of time and meets every\n\
+         deadline at the lowest energy.\n"
+    );
+
+    // §2's marginal-energy observation, as a table.
+    println!("marginal energy: add extra work to a core busy with 10 units, or wake a second core?");
+    println!("{:>10}  {:>14}  {:>12}", "extra", "consolidate", "spread");
+    for extra in [1.0, 4.0, 8.0, 14.0, 20.0] {
+        let (c, s) = marginal_energy(10.0, extra, &cfg);
+        println!(
+            "{:>10}  {:>12.2} mJ  {:>10.2} mJ   {}",
+            extra,
+            c.as_joules() * 1e3,
+            s.as_joules() * 1e3,
+            if c < s { "<- consolidate" } else { "<- spread" }
+        );
+    }
+}

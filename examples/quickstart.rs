@@ -1,0 +1,70 @@
+//! Quickstart: write an energy interface, execute it, analyze it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use energy_clarity::core::analysis::paths::enumerate_paths;
+use energy_clarity::core::analysis::worst_case::worst_case;
+use energy_clarity::core::ecv::EcvEnv;
+use energy_clarity::core::interp::{enumerate_exact, monte_carlo, EvalConfig};
+use energy_clarity::core::interface::InputSpec;
+use energy_clarity::core::parser::parse;
+use energy_clarity::core::pretty::print_interface;
+use energy_clarity::core::units::Calibration;
+use energy_clarity::core::value::Value;
+
+fn main() {
+    // 1. An energy interface is a little program (the paper's Fig. 1 idea):
+    //    same input as the implementation, returns the energy it would use.
+    let iface = parse(
+        r#"
+        interface thumbnailer "energy interface of an image thumbnailer" {
+            ecv cached: bernoulli(0.7) "thumbnail already rendered";
+            fn handle(image) {
+                if cached {
+                    return 2 mJ + 0.01 mJ * image.kilobytes;
+                } else {
+                    return render(image.kilobytes) + 2 mJ;
+                }
+            }
+            fn render(kb) {
+                let e = 5 mJ;
+                for block in 0..ceil(kb / 64) {
+                    e = e + 3 mJ;
+                }
+                return e;
+            }
+        }
+        "#,
+    )
+    .expect("parses");
+
+    // It is both human-readable...
+    println!("--- the interface, pretty-printed ---\n{}", print_interface(&iface));
+
+    // ...and machine-executable.
+    let cfg = EvalConfig::default();
+    let env = EcvEnv::from_decls(&iface.ecvs);
+    let image = Value::num_record([("kilobytes", 512.0)]);
+
+    // 2. Exact distribution over the ECV outcomes.
+    let dist = enumerate_exact(&iface, "handle", &[image.clone()], &env, 16, &cfg).unwrap();
+    println!("512 KB image: expected {}, worst outcome {}", dist.mean(), dist.max());
+
+    // 3. Monte Carlo agrees (useful when ECVs are continuous).
+    let mc = monte_carlo(&iface, "handle", &[image.clone()], &env, 10_000, 42, &cfg).unwrap();
+    println!("Monte Carlo mean: {}", mc.mean());
+
+    // 4. Per-path view: which code path costs what, with what probability.
+    let profile = enumerate_paths(&iface, "handle", &[image], &env, 16, &cfg).unwrap();
+    println!("\n--- paths ---\n{}", profile.render());
+
+    // 5. Sound worst-case bound over a declared input space.
+    let spec = InputSpec::new().range("image.kilobytes", 1.0, 4096.0);
+    let bound = worst_case(&iface, "handle", &spec, &Calibration::empty()).unwrap();
+    println!(
+        "worst case over images of 1..4096 KB: [{}, {}]",
+        bound.lower, bound.upper
+    );
+}

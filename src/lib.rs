@@ -1,0 +1,7 @@
+//! energy-clarity umbrella crate.
+pub use ei_core as core;
+pub use ei_extract as extract;
+pub use ei_hw as hw;
+pub use ei_llm as llm;
+pub use ei_sched as sched;
+pub use ei_service as service;

@@ -1,0 +1,184 @@
+//! A corpus of realistic energy interfaces: every one must parse,
+//! round-trip through the pretty-printer, validate, evaluate, serialize to
+//! JSON and back, and (where annotated) admit worst-case analysis that is
+//! sound against sampling.
+
+use energy_clarity::core::analysis::worst_case::worst_case;
+use energy_clarity::core::ecv::EcvEnv;
+use energy_clarity::core::interp::{evaluate_energy, EvalConfig};
+use energy_clarity::core::interface::{Interface, InputSpec};
+use energy_clarity::core::parser::parse;
+use energy_clarity::core::pretty::print_interface;
+use energy_clarity::core::units::Calibration;
+use energy_clarity::core::value::Value;
+
+/// `(name, source, entry, scalar args, input spec for analysis)`.
+fn corpus() -> Vec<(&'static str, &'static str, &'static str, Vec<f64>, Option<InputSpec>)> {
+    vec![
+        (
+            "dram_controller",
+            r#"interface dram "DDR5 controller" {
+                ecv row_hit: bernoulli(0.6) "row buffer hit";
+                fn read(bytes) {
+                    let bursts = ceil(bytes / 64);
+                    let per = if row_hit { 12 nJ } else { 35 nJ };
+                    return per * bursts + 4 nJ;
+                }
+                fn write(bytes) { return 40 nJ * ceil(bytes / 64) + 4 nJ; }
+                fn refresh(seconds) { return 22 mJ * seconds; }
+            }"#,
+            "read",
+            vec![4096.0],
+            Some(InputSpec::new().range("bytes", 1.0, 1_048_576.0)),
+        ),
+        (
+            "tls_handshake",
+            r#"interface tls "TLS 1.3 handshake" {
+                ecv session_resumed: bernoulli(0.4) "PSK resumption";
+                fn handshake(cert_chain_len) {
+                    if session_resumed { return 0.8 mJ; }
+                    let e = 3.5 mJ;
+                    for c in 0..cert_chain_len { e = e + 1.2 mJ; }
+                    return e;
+                }
+            }"#,
+            "handshake",
+            vec![3.0],
+            Some(InputSpec::new().range("cert_chain_len", 0.0, 6.0)),
+        ),
+        (
+            "b_tree",
+            r#"interface btree "B-tree point lookup" {
+                unit page_read;
+                fn lookup(n_keys) {
+                    let depth = max(ceil(ln(max(n_keys, 2)) / ln(128)), 1);
+                    return 1 page_read * depth + 2 uJ;
+                }
+            }"#,
+            "lookup",
+            vec![1_000_000.0],
+            None,
+        ),
+        (
+            "video_encoder",
+            r#"interface encoder "per-frame H.264-class encoder" {
+                ecv scene_change: bernoulli(0.05) "keyframe forced";
+                fn encode(width, height) {
+                    let mbs = ceil(width / 16) * ceil(height / 16);
+                    let base = 0.9 uJ * mbs;
+                    if scene_change { return base * 3 + 2 mJ; }
+                    return base + 2 mJ;
+                }
+            }"#,
+            "encode",
+            vec![1920.0, 1080.0],
+            Some(
+                InputSpec::new()
+                    .range("width", 320.0, 3840.0)
+                    .range("height", 240.0, 2160.0),
+            ),
+        ),
+        (
+            "raid_rebuild",
+            r#"interface raid "RAID-6 rebuild" {
+                fn rebuild(disk_gb, healthy_disks) {
+                    let stripes = disk_gb * 1024;
+                    let read = 0.2 mJ * stripes * healthy_disks;
+                    let parity = 0.05 mJ * stripes;
+                    let write = 0.25 mJ * stripes;
+                    return read + parity + write;
+                }
+            }"#,
+            "rebuild",
+            vec![100.0, 5.0],
+            Some(
+                InputSpec::new()
+                    .range("disk_gb", 1.0, 1000.0)
+                    .range("healthy_disks", 3.0, 11.0),
+            ),
+        ),
+        (
+            "gc_pause",
+            r#"interface gc "generational GC pause" {
+                ecv promotion_rate: uniform(0.02, 0.2) "fraction promoted";
+                fn minor_collect(nursery_mb) {
+                    let survivors = nursery_mb * ecv(promotion_rate);
+                    return 0.4 mJ * nursery_mb + 3 mJ * survivors;
+                }
+            }"#,
+            "minor_collect",
+            vec![64.0],
+            Some(InputSpec::new().range("nursery_mb", 1.0, 512.0)),
+        ),
+    ]
+}
+
+#[test]
+fn corpus_parses_roundtrips_and_validates() {
+    for (name, src, _, _, _) in corpus() {
+        let iface = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        iface.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let printed = print_interface(&iface);
+        let again = parse(&printed).unwrap_or_else(|e| panic!("{name} reprint: {e}\n{printed}"));
+        assert_eq!(iface, again, "{name} round-trip");
+    }
+}
+
+#[test]
+fn corpus_evaluates_positive_energy() {
+    let cal = Calibration::from_pairs([(
+        "page_read",
+        energy_clarity::core::units::Energy::microjoules(25.0),
+    )]);
+    for (name, src, entry, args, _) in corpus() {
+        let iface = parse(src).unwrap();
+        let mut cfg = EvalConfig::default();
+        cfg.calibration = cal.clone();
+        let vals: Vec<Value> = args.iter().map(|a| Value::Num(*a)).collect();
+        let env = EcvEnv::from_decls(&iface.ecvs);
+        for seed in 0..8 {
+            let e = evaluate_energy(&iface, entry, &vals, &env, seed, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(e.as_joules() > 0.0, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn corpus_serializes_to_json_and_back() {
+    for (name, src, _, _, _) in corpus() {
+        let iface = parse(src).unwrap();
+        let json = serde_json::to_string(&iface).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let back: Interface =
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(iface, back, "{name} JSON round-trip");
+    }
+}
+
+#[test]
+fn corpus_worst_case_bounds_are_sound() {
+    let cal = Calibration::from_pairs([(
+        "page_read",
+        energy_clarity::core::units::Energy::microjoules(25.0),
+    )]);
+    for (name, src, entry, args, spec) in corpus() {
+        let Some(spec) = spec else { continue };
+        let iface = parse(src).unwrap();
+        let bound = worst_case(&iface, entry, &spec, &cal)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut cfg = EvalConfig::default();
+        cfg.calibration = cal.clone();
+        let env = EcvEnv::from_decls(&iface.ecvs);
+        // The declared sample point lies in every spec's range.
+        let vals: Vec<Value> = args.iter().map(|a| Value::Num(*a)).collect();
+        for seed in 0..32 {
+            let e = evaluate_energy(&iface, entry, &vals, &env, seed, &cfg).unwrap();
+            assert!(
+                bound.admits(e),
+                "{name}: sample {e} outside [{}, {}]",
+                bound.lower,
+                bound.upper
+            );
+        }
+    }
+}
