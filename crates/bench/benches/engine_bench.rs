@@ -1,0 +1,104 @@
+//! Criterion benchmarks of the deterministic parallel Monte-Carlo engine
+//! and the evaluation cache, on the Table 1 workload (the linked
+//! GPT-2-over-fitted-hardware interface).
+//!
+//! Expected shape of the results:
+//! - `mc_table1/par/4` should be ≥ 2× faster than `mc_table1/serial` on
+//!   a multicore host (chunks are embarrassingly parallel and samples
+//!   are expensive). On a single-core machine there is no parallelism to
+//!   harvest; the useful signal there is that `par/*` stays within a few
+//!   percent of `serial`, i.e. the scoped-thread + work-stealing overhead
+//!   is bounded;
+//! - `eval_cache/warm` should be orders of magnitude faster than
+//!   `eval_cache/cold` (a hit pays only the interface fingerprint, not
+//!   the 4096-sample expectation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ei_bench::table1::fitted_gpt2_interface;
+use ei_core::cache::EvalCache;
+use ei_core::ecv::EcvEnv;
+use ei_core::interp::{monte_carlo, monte_carlo_par, EvalConfig};
+use ei_core::value::Value;
+use ei_hw::gpu::rtx4090;
+
+/// Samples per Monte-Carlo distribution: 4 chunks of work per thread at
+/// 4 threads, enough to amortize thread spawn against ~ms-scale samples.
+const MC_SAMPLES: usize = 1024;
+
+fn table1_config() -> EvalConfig {
+    EvalConfig {
+        fuel: 400_000_000,
+        ..EvalConfig::default()
+    }
+}
+
+fn bench_mc_parallel(c: &mut Criterion) {
+    let (linked, _) = fitted_gpt2_interface(&rtx4090());
+    let cfg = table1_config();
+    let env = EcvEnv::new();
+    let args = [Value::Num(32.0), Value::Num(100.0)];
+
+    let mut group = c.benchmark_group("mc_table1");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| monte_carlo(&linked, "e_generate", &args, &env, MC_SAMPLES, 7, &cfg).unwrap())
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("par", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                monte_carlo_par(
+                    &linked,
+                    "e_generate",
+                    &args,
+                    &env,
+                    MC_SAMPLES,
+                    7,
+                    threads,
+                    &cfg,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_cache(c: &mut Criterion) {
+    let (linked, _) = fitted_gpt2_interface(&rtx4090());
+    let cfg = table1_config();
+    let args = [Value::Num(32.0), Value::Num(100.0)];
+
+    let mut group = c.benchmark_group("eval_cache");
+    group.sample_size(10);
+    // Cold: a fresh cache every iteration — pays fingerprint + evaluation.
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let cache = EvalCache::new();
+            cache
+                .expected_energy_cached(&linked, "e_generate", &args, &cfg)
+                .unwrap()
+        })
+    });
+    // Warm: shared cache — every iteration after the first is a hit and
+    // pays only the content fingerprint.
+    let cache = EvalCache::new();
+    cache
+        .expected_energy_cached(&linked, "e_generate", &args, &cfg)
+        .unwrap();
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            cache
+                .expected_energy_cached(&linked, "e_generate", &args, &cfg)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mc_parallel, bench_eval_cache
+);
+criterion_main!(benches);

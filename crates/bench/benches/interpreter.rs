@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ei_core::analysis::worst_case::worst_case;
-use ei_core::interp::{enumerate_exact, evaluate_energy, monte_carlo, EvalConfig};
 use ei_core::interface::InputSpec;
+use ei_core::interp::{enumerate_exact, evaluate_energy, monte_carlo, EvalConfig};
 use ei_core::parser::parse;
 use ei_core::units::Calibration;
 use ei_core::value::Value;
@@ -37,26 +37,19 @@ fn bench_eval(c: &mut Criterion) {
     let env = iface.ecv_env();
     let cfg = EvalConfig::default();
     c.bench_function("evaluate_once", |b| {
-        b.iter(|| {
-            evaluate_energy(&iface, "handle", &[Value::Num(64.0)], &env, 7, &cfg).unwrap()
-        })
+        b.iter(|| evaluate_energy(&iface, "handle", &[Value::Num(64.0)], &env, 7, &cfg).unwrap())
     });
 
     let mut group = c.benchmark_group("monte_carlo");
     for n in [128usize, 1024] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                monte_carlo(&iface, "handle", &[Value::Num(64.0)], &env, n, 7, &cfg)
-                    .unwrap()
-            })
+            b.iter(|| monte_carlo(&iface, "handle", &[Value::Num(64.0)], &env, n, 7, &cfg).unwrap())
         });
     }
     group.finish();
 
     c.bench_function("enumerate_exact", |b| {
-        b.iter(|| {
-            enumerate_exact(&iface, "handle", &[Value::Num(64.0)], &env, 64, &cfg).unwrap()
-        })
+        b.iter(|| enumerate_exact(&iface, "handle", &[Value::Num(64.0)], &env, 64, &cfg).unwrap())
     });
 }
 

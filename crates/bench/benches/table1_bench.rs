@@ -18,8 +18,7 @@ fn bench_predict(c: &mut Criterion) {
 fn bench_ground_truth(c: &mut Criterion) {
     c.bench_function("table1_ground_truth_gen25", |b| {
         b.iter(|| {
-            let mut engine =
-                Gpt2Engine::new(gpt2_small(), GpuSim::new(rtx4090())).unwrap();
+            let mut engine = Gpt2Engine::new(gpt2_small(), GpuSim::new(rtx4090())).unwrap();
             engine.generate(8, 25)
         })
     });
@@ -28,11 +27,8 @@ fn bench_ground_truth(c: &mut Criterion) {
 fn bench_microbench_campaign(c: &mut Criterion) {
     c.bench_function("microbench_fit_campaign", |b| {
         b.iter(|| {
-            ei_extract::microbench::fit_gpu_model(
-                &rtx4090(),
-                ei_hw::meter::MeterConfig::ideal(),
-            )
-            .unwrap()
+            ei_extract::microbench::fit_gpu_model(&rtx4090(), ei_hw::meter::MeterConfig::ideal())
+                .unwrap()
         })
     });
 }

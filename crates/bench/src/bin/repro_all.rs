@@ -1,13 +1,34 @@
 //! Runs every reproduction in sequence (Table 1 last; it is the slowest).
 fn main() {
     println!("{}", ei_bench::fig2::render(&ei_bench::fig2::run()));
-    println!("{}", ei_bench::experiments::render_eas(&ei_bench::experiments::run_eas()));
-    println!("{}", ei_bench::experiments::render_cluster(&ei_bench::experiments::run_cluster()));
-    println!("{}", ei_bench::experiments::render_fuzz(&ei_bench::experiments::run_fuzz()));
-    println!("{}", ei_bench::experiments::render_marginal(&ei_bench::experiments::run_marginal()));
-    println!("{}", ei_bench::experiments::render_sidechannel(&ei_bench::experiments::run_sidechannel()));
-    println!("{}", ei_bench::experiments::render_bughunt(&ei_bench::experiments::run_bughunt()));
-    println!("{}", ei_bench::experiments::render_composition(&ei_bench::experiments::run_composition()));
+    println!(
+        "{}",
+        ei_bench::experiments::render_eas(&ei_bench::experiments::run_eas())
+    );
+    println!(
+        "{}",
+        ei_bench::experiments::render_cluster(&ei_bench::experiments::run_cluster())
+    );
+    println!(
+        "{}",
+        ei_bench::experiments::render_fuzz(&ei_bench::experiments::run_fuzz())
+    );
+    println!(
+        "{}",
+        ei_bench::experiments::render_marginal(&ei_bench::experiments::run_marginal())
+    );
+    println!(
+        "{}",
+        ei_bench::experiments::render_sidechannel(&ei_bench::experiments::run_sidechannel())
+    );
+    println!(
+        "{}",
+        ei_bench::experiments::render_bughunt(&ei_bench::experiments::run_bughunt())
+    );
+    println!(
+        "{}",
+        ei_bench::experiments::render_composition(&ei_bench::experiments::run_composition())
+    );
     println!("{}", ei_bench::ablation::render(&ei_bench::ablation::run()));
     println!("{}", ei_bench::fig1::render(&ei_bench::fig1::run()));
     println!("{}", ei_bench::table1::render(&ei_bench::table1::run()));

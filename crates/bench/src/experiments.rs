@@ -3,10 +3,10 @@
 //! composition error propagation.
 
 use ei_core::analysis::constant_energy::{check_constant_energy, ConstantEnergy};
-use ei_core::compose::link;
+use ei_core::cache::EvalCache;
 use ei_core::ecv::EcvEnv;
-use ei_core::interp::{evaluate_energy, EvalConfig};
 use ei_core::interface::InputSpec;
+use ei_core::interp::{evaluate_energy, EvalConfig};
 use ei_core::parser::parse;
 use ei_core::units::{Energy, TimeSpan};
 use ei_core::value::Value;
@@ -16,9 +16,7 @@ use ei_hw::nic::{datacenter_nic, NicSim};
 use ei_sched::cluster::{mixed_pods, place, Cluster, Policy};
 use ei_sched::eas::{marginal_energy, run_schedule, Predictor, SchedConfig, TaskSpec};
 use ei_sched::fuzz::{default_campaign, plan, simulate_campaign};
-use ei_service::{
-    fig1_calibration, fig1_interface, request_stream, CacheEnergy, MlWebService,
-};
+use ei_service::{fig1_calibration, fig1_interface, request_stream, CacheEnergy, MlWebService};
 use serde::Serialize;
 
 // ---------------------------------------------------------------------------
@@ -122,7 +120,9 @@ pub fn run_cluster() -> Vec<ClusterRow> {
 /// Renders E2.
 pub fn render_cluster(rows: &[ClusterRow]) -> String {
     let mut out = String::new();
-    out.push_str("E2: cluster placement of 12 web + 12 analytics pods (4 compute + 4 bigmem nodes)\n\n");
+    out.push_str(
+        "E2: cluster placement of 12 web + 12 analytics pods (4 compute + 4 bigmem nodes)\n\n",
+    );
     out.push_str("policy                 energy       analytics pods on bigmem\n");
     out.push_str("------------------------------------------------------------\n");
     for r in rows {
@@ -184,8 +184,16 @@ pub fn render_fuzz(r: &FuzzReport) -> String {
     let mut out = String::new();
     out.push_str("E3: ClusterFuzz capacity planning, answered from the fleet's interface\n\n");
     out.push_str("Q1: optimal machines for 95% coverage at minimum energy\n");
-    for (m, e) in r.sweep.iter().filter(|(m, _)| [1, 2, 4, 8, 16, 32].contains(m)) {
-        let marker = if *m == r.best_machines { "  <-- optimum" } else { "" };
+    for (m, e) in r
+        .sweep
+        .iter()
+        .filter(|(m, _)| [1, 2, 4, 8, 16, 32].contains(m))
+    {
+        let marker = if *m == r.best_machines {
+            "  <-- optimum"
+        } else {
+            ""
+        };
         out.push_str(&format!("    {m:>2} machines: {:.1} MJ{marker}\n", e / 1e6));
     }
     out.push_str(&format!(
@@ -403,13 +411,8 @@ pub fn run_bughunt() -> BugHuntReport {
 
     // Energy bug: the cache is "accidentally" disabled (capacity 1/1):
     // every request recomputes the CNN.
-    let mut broken = MlWebService::new(
-        GpuSim::new(rtx4090()),
-        NicSim::new(datacenter_nic()),
-        1,
-        1,
-    )
-    .expect("service fits");
+    let mut broken = MlWebService::new(GpuSim::new(rtx4090()), NicSim::new(datacenter_nic()), 1, 1)
+        .expect("service fits");
     broken.calibrate_cnn();
     for req in &stream {
         broken.handle(*req, TimeSpan::millis(5.0));
@@ -465,11 +468,15 @@ pub struct CompositionRow {
 /// layer below twice plus its own overhead; perturb the leaf's coefficient
 /// by ±`eps` and measure the end-to-end deviation.
 pub fn run_composition() -> Vec<CompositionRow> {
+    // One cache for the whole study: the unperturbed chain is re-linked for
+    // every eps, and deeper chains share their whole prefix with shallower
+    // ones, so most compositions are cache hits.
+    let cache = EvalCache::new();
     let mut rows = Vec::new();
     for depth in 1..=5usize {
         for eps in [0.01, 0.05, 0.10] {
-            let exact = chain_energy(depth, 0.0);
-            let perturbed = chain_energy(depth, eps);
+            let exact = chain_energy(&cache, depth, 0.0);
+            let perturbed = chain_energy(&cache, depth, eps);
             rows.push(CompositionRow {
                 depth,
                 leaf_error: eps,
@@ -482,13 +489,13 @@ pub fn run_composition() -> Vec<CompositionRow> {
 
 /// Builds a `depth`-layer chain with the leaf coefficient scaled by
 /// `(1 + eps)` and evaluates the top of the stack.
-fn chain_energy(depth: usize, eps: f64) -> f64 {
+fn chain_energy(cache: &EvalCache, depth: usize, eps: f64) -> f64 {
     let leaf = parse(&format!(
         "interface l0 {{ fn op_0(x) {{ return {} J * x; }} }}",
         1e-6 * (1.0 + eps)
     ))
     .unwrap();
-    let mut current = leaf;
+    let mut current = std::sync::Arc::new(leaf);
     for d in 1..depth {
         let upper = parse(&format!(
             r#"interface l{d} {{
@@ -500,7 +507,7 @@ fn chain_energy(depth: usize, eps: f64) -> f64 {
             overhead = 0.2e-6,
         ))
         .unwrap();
-        current = link(&upper, &[&current]).expect("chain links");
+        current = cache.link_cached(&upper, &[&current]).expect("chain links");
     }
     let top = format!("op_{}", depth - 1);
     evaluate_energy(

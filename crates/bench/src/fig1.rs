@@ -9,9 +9,7 @@ use ei_core::units::TimeSpan;
 use ei_core::value::Value;
 use ei_hw::gpu::{rtx4090, GpuSim};
 use ei_hw::nic::{datacenter_nic, NicSim};
-use ei_service::{
-    fig1_calibration, fig1_interface, request_stream, CacheEnergy, MlWebService,
-};
+use ei_service::{fig1_calibration, fig1_interface, request_stream, CacheEnergy, MlWebService};
 use serde::Serialize;
 
 /// Outcome of the Fig. 1 validation run.
@@ -72,7 +70,7 @@ pub fn run() -> Fig1Report {
         enumerate_exact(
             iface,
             "handle",
-            &[req.clone()],
+            std::slice::from_ref(&req),
             &EcvEnv::from_decls(&iface.ecvs),
             64,
             &cfg,
@@ -89,7 +87,14 @@ pub fn run() -> Fig1Report {
     let mut hit_rate_sweep = Vec::new();
     for k in 1..=9 {
         let p = k as f64 / 10.0;
-        let i = fig1_interface(p, p_local, &cal, &CacheEnergy::default(), nic.e_byte, nic.e_packet);
+        let i = fig1_interface(
+            p,
+            p_local,
+            &cal,
+            &CacheEnergy::default(),
+            nic.e_byte,
+            nic.e_packet,
+        );
         hit_rate_sweep.push((p, mean(&i)));
     }
     let mut model_opt_sweep = Vec::new();
@@ -159,11 +164,19 @@ pub fn render(r: &Fig1Report) -> String {
     out.push_str("Leverage (computed from the interface, before deploying anything):\n");
     out.push_str("  cache hit rate sweep:\n");
     for (p, e) in &r.hit_rate_sweep {
-        out.push_str(&format!("    p_hit = {:.1}:  E[request] = {:.4} mJ\n", p, e * 1e3));
+        out.push_str(&format!(
+            "    p_hit = {:.1}:  E[request] = {:.4} mJ\n",
+            p,
+            e * 1e3
+        ));
     }
     out.push_str("  model-optimization sweep (conv cost scaled):\n");
     for (s, e) in &r.model_opt_sweep {
-        out.push_str(&format!("    conv x {:.2}:  E[request] = {:.4} mJ\n", s, e * 1e3));
+        out.push_str(&format!(
+            "    conv x {:.2}:  E[request] = {:.4} mJ\n",
+            s,
+            e * 1e3
+        ));
     }
     out
 }

@@ -38,8 +38,7 @@ pub fn build_stack(gpu: &GpuConfig) -> Stack {
         .resource(Resource::new("gpu", gpu_interface(gpu)).with_doc("GPU accelerator"))
         .resource(Resource::new("cpu", cpu_interface(&big)).with_doc("host CPU"))
         .resource(
-            Resource::new("nic", nic_interface("dc", &datacenter_nic()))
-                .with_doc("datacenter NIC"),
+            Resource::new("nic", nic_interface("dc", &datacenter_nic())).with_doc("datacenter NIC"),
         );
 
     // Runtime layer: a Python-like runtime that schedules kernels and adds
@@ -92,10 +91,10 @@ pub fn run_machine(gpu: &GpuConfig) -> MachineRow {
     let cfg = EvalConfig::default();
     let env = EcvEnv::new();
     let args = [
-        Value::Num(4096.0),            // request bytes
-        Value::Num(2e9),               // flops
+        Value::Num(4096.0),                 // request bytes
+        Value::Num(2e9),                    // flops
         Value::Num(64.0 * 1024.0 * 1024.0), // bytes touched
-        Value::Num(16384.0),           // response bytes
+        Value::Num(16384.0),                // response bytes
     ];
     let e_request = evaluate_energy(app, "e_request", &args, &env, 0, &cfg)
         .expect("request evaluates")

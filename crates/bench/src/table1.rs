@@ -13,8 +13,8 @@
 
 use ei_core::compose::link;
 use ei_core::ecv::EcvEnv;
-use ei_core::interp::{evaluate_energy, EvalConfig};
 use ei_core::interface::Interface;
+use ei_core::interp::{evaluate_batch, EvalConfig};
 use ei_core::units::Energy;
 
 use ei_core::value::Value;
@@ -63,24 +63,27 @@ pub fn sweep() -> Vec<(u64, u64)> {
 pub fn fitted_gpt2_interface(gpu: &GpuConfig) -> (Interface, f64) {
     let (model, _) = fit_gpu_model(gpu, MeterConfig::nvml()).expect("microbench campaign");
     let hw_iface = model.to_interface(gpu);
-    let linked =
-        link(&gpt2_interface(&gpt2_small()), &[&hw_iface]).expect("link GPT-2 over hw");
+    let linked = link(&gpt2_interface(&gpt2_small()), &[&hw_iface]).expect("link GPT-2 over hw");
     (linked, model.r_squared)
 }
 
 /// Predicts `e_generate(prompt, gen)` with a linked interface.
 pub fn predict(linked: &Interface, prompt: u64, gen: u64) -> Energy {
-    let mut cfg = EvalConfig::default();
-    cfg.fuel = 400_000_000;
-    evaluate_energy(
-        linked,
-        "e_generate",
-        &[Value::Num(prompt as f64), Value::Num(gen as f64)],
-        &EcvEnv::new(),
-        0,
-        &cfg,
-    )
-    .expect("interface evaluates")
+    predict_batch(linked, &[(prompt, gen)])[0]
+}
+
+/// Predicts `e_generate` for a whole sweep in one [`evaluate_batch`] call.
+pub fn predict_batch(linked: &Interface, points: &[(u64, u64)]) -> Vec<Energy> {
+    let cfg = EvalConfig {
+        fuel: 400_000_000,
+        ..EvalConfig::default()
+    };
+    let argsets: Vec<Vec<Value>> = points
+        .iter()
+        .map(|&(p, g)| vec![Value::Num(p as f64), Value::Num(g as f64)])
+        .collect();
+    evaluate_batch(linked, "e_generate", &argsets, &EcvEnv::new(), 0, &cfg)
+        .expect("interface evaluates")
 }
 
 /// Ground truth, measured through the NVML meter on a fresh device.
@@ -89,8 +92,7 @@ pub fn predict(linked: &Interface, prompt: u64, gen: u64) -> Energy {
 /// so the run is repeated until it spans several counter updates and the
 /// average is reported — exactly what a real measurement script does.
 pub fn measure(gpu: &GpuConfig, prompt: u64, gen: u64) -> Energy {
-    let mut engine =
-        Gpt2Engine::new(gpt2_small(), GpuSim::new(gpu.clone())).expect("model fits");
+    let mut engine = Gpt2Engine::new(gpt2_small(), GpuSim::new(gpu.clone())).expect("model fits");
     let meter = PowerMeter::new(MeterConfig::nvml());
     let min_span = MeterConfig::nvml().update_period.as_seconds() * 5.0;
     let before = meter.read(engine.gpu().energy(), engine.gpu().counters().elapsed);
@@ -110,9 +112,10 @@ pub fn measure(gpu: &GpuConfig, prompt: u64, gen: u64) -> Energy {
 /// Runs the full Table 1 experiment for one GPU.
 pub fn run_gpu(gpu: &GpuConfig) -> Table1Row {
     let (linked, fit_r2) = fitted_gpt2_interface(gpu);
+    let predictions = predict_batch(&linked, &sweep());
     let mut points = Vec::new();
-    for (prompt, gen) in sweep() {
-        let predicted = predict(&linked, prompt, gen).as_joules();
+    for ((prompt, gen), predicted) in sweep().into_iter().zip(predictions) {
+        let predicted = predicted.as_joules();
         let measured = measure(gpu, prompt, gen).as_joules();
         let rel_error = (predicted - measured).abs() / measured;
         points.push(Point {
@@ -164,7 +167,10 @@ pub fn render(rows: &[Table1Row]) -> String {
     }
     out.push('\n');
     for row in rows {
-        out.push_str(&format!("  {} sweep (fit R² = {:.6}):\n", row.gpu, row.fit_r2));
+        out.push_str(&format!(
+            "  {} sweep (fit R² = {:.6}):\n",
+            row.gpu, row.fit_r2
+        ));
         for p in &row.points {
             out.push_str(&format!(
                 "    prompt {:>3}, gen {:>3}: predicted {:>9.4} J, measured {:>9.4} J, err {:>5.2}%\n",

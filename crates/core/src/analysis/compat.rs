@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::analysis::worst_case::worst_case_at;
 use crate::error::{Error, Result};
-use crate::interface::{Interface, InputSpec};
+use crate::interface::{InputSpec, Interface};
 use crate::units::{Calibration, Energy};
 
 /// One point where the candidate exceeded the spec's envelope.
@@ -205,8 +205,7 @@ mod tests {
         )
         .unwrap();
         let inputs = InputSpec::new().range("n", 0.0, 100.0);
-        let report =
-            check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
+        let report = check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
         assert!(report.is_compatible(), "{:?}", report.violations);
         assert!(report.max_ratio <= 1.0);
         assert!(report.points_checked >= 5);
@@ -221,8 +220,7 @@ mod tests {
         )
         .unwrap();
         let inputs = InputSpec::new().range("n", 0.0, 100.0);
-        let report =
-            check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
+        let report = check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
         assert!(!report.is_compatible());
         // 5 + 3n > 10 + 2n iff n > 5: the witness must be there.
         for v in &report.violations {
@@ -246,8 +244,7 @@ mod tests {
         )
         .unwrap();
         let inputs = InputSpec::new().range("n", 0.0, 100.0);
-        let report =
-            check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
+        let report = check_compat(&spec(), &cand, "op", &inputs, &CompatConfig::default()).unwrap();
         assert!(!report.is_compatible());
     }
 
@@ -278,14 +275,8 @@ mod tests {
 
     #[test]
     fn multi_dimensional_grid() {
-        let spec2 = parse(
-            "interface s2 { fn op(a, b) { return 1 mJ * a + 1 mJ * b; } }",
-        )
-        .unwrap();
-        let cand2 = parse(
-            "interface c2 { fn op(a, b) { return 0.5 mJ * (a + b); } }",
-        )
-        .unwrap();
+        let spec2 = parse("interface s2 { fn op(a, b) { return 1 mJ * a + 1 mJ * b; } }").unwrap();
+        let cand2 = parse("interface c2 { fn op(a, b) { return 0.5 mJ * (a + b); } }").unwrap();
         let inputs = InputSpec::new().range("a", 0.0, 10.0).range("b", 0.0, 10.0);
         let report = check_compat(
             &spec2,

@@ -20,8 +20,8 @@ use rand::{Rng, SeedableRng};
 use crate::analysis::worst_case::worst_case;
 use crate::ecv::EcvEnv;
 use crate::error::Result;
+use crate::interface::{InputSpec, Interface};
 use crate::interp::{evaluate_energy, EvalConfig};
-use crate::interface::{Interface, InputSpec};
 use crate::units::{Calibration, Energy};
 use crate::value::Value;
 
@@ -100,8 +100,10 @@ pub fn check_constant_energy(
         })
         .collect::<Result<_>>()?;
     let env = EcvEnv::from_decls(&iface.ecvs);
-    let mut cfg = EvalConfig::default();
-    cfg.calibration = cal.clone();
+    let cfg = EvalConfig {
+        calibration: cal.clone(),
+        ..EvalConfig::default()
+    };
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lo: Option<(Vec<f64>, Energy)> = None;

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use crate::ast::{BinOp, Builtin, Expr, Stmt, UnOp};
 use crate::ecv::DistSpec;
 use crate::error::{Error, NameKind, Result};
-use crate::interface::{Interface, InputSpec};
+use crate::interface::{InputSpec, Interface};
 use crate::units::{Calibration, Energy};
 
 /// Maximum trip count an abstract loop may be unrolled to.
@@ -126,6 +126,7 @@ impl AbsBool {
     }
 
     /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             AbsBool::True => AbsBool::False,
@@ -189,11 +190,7 @@ impl AbsEnergy {
         }
     }
 
-    fn zip(
-        &self,
-        o: &AbsEnergy,
-        f: impl Fn(&Interval, &Interval) -> Interval,
-    ) -> AbsEnergy {
+    fn zip(&self, o: &AbsEnergy, f: impl Fn(&Interval, &Interval) -> Interval) -> AbsEnergy {
         let mut abstracts = BTreeMap::new();
         let zero = Interval::point(0.0);
         for k in self.abstracts.keys().chain(o.abstracts.keys()) {
@@ -244,9 +241,9 @@ impl AbsEnergy {
             if i.lo == 0.0 && i.hi == 0.0 {
                 continue;
             }
-            let e = cal.get(u).ok_or_else(|| Error::Uncalibrated {
-                unit: u.clone(),
-            })?;
+            let e = cal
+                .get(u)
+                .ok_or_else(|| Error::Uncalibrated { unit: u.clone() })?;
             // Calibrations are non-negative energies per unit.
             hi += i.hi * e.as_joules();
         }
@@ -260,9 +257,9 @@ impl AbsEnergy {
             if i.lo == 0.0 && i.hi == 0.0 {
                 continue;
             }
-            let e = cal.get(u).ok_or_else(|| Error::Uncalibrated {
-                unit: u.clone(),
-            })?;
+            let e = cal
+                .get(u)
+                .ok_or_else(|| Error::Uncalibrated { unit: u.clone() })?;
             lo += i.lo * e.as_joules();
         }
         Ok(Energy(lo))
@@ -320,14 +317,10 @@ impl AbsValue {
     pub fn join(&self, other: &AbsValue) -> Result<AbsValue> {
         match (self, other) {
             (AbsValue::Num(a), AbsValue::Num(b)) => Ok(AbsValue::Num(a.join(b))),
-            (AbsValue::Bool(a), AbsValue::Bool(b)) => Ok(AbsValue::Bool(if a == b {
-                *a
-            } else {
-                AbsBool::Unknown
-            })),
-            (AbsValue::Energy(a), AbsValue::Energy(b)) => {
-                Ok(AbsValue::Energy(a.join(b)))
+            (AbsValue::Bool(a), AbsValue::Bool(b)) => {
+                Ok(AbsValue::Bool(if a == b { *a } else { AbsBool::Unknown }))
             }
+            (AbsValue::Energy(a), AbsValue::Energy(b)) => Ok(AbsValue::Energy(a.join(b))),
             (AbsValue::Record(a), AbsValue::Record(b)) if a.len() == b.len() => {
                 let mut out = BTreeMap::new();
                 for (k, va) in a {
@@ -380,10 +373,9 @@ pub fn ecv_abs_value(dist: &DistSpec) -> AbsValue {
             AbsValue::Num(Interval::new(lo, hi))
         }
         DistSpec::Uniform { lo, hi } => AbsValue::Num(Interval::new(*lo, *hi)),
-        DistSpec::Normal { mean, std_dev } => AbsValue::Num(Interval::new(
-            mean - 6.0 * std_dev,
-            mean + 6.0 * std_dev,
-        )),
+        DistSpec::Normal { mean, std_dev } => {
+            AbsValue::Num(Interval::new(mean - 6.0 * std_dev, mean + 6.0 * std_dev))
+        }
         DistSpec::Point { value } => AbsValue::Num(Interval::point(*value)),
     }
 }
@@ -405,17 +397,12 @@ pub fn abstract_inputs(iface: &Interface, func: &str, spec: &InputSpec) -> Resul
         let mut fields = BTreeMap::new();
         for (path, r) in spec.iter() {
             if let Some(field) = path.strip_prefix(&prefix) {
-                fields.insert(
-                    field.to_string(),
-                    AbsValue::Num(Interval::new(r.lo, r.hi)),
-                );
+                fields.insert(field.to_string(), AbsValue::Num(Interval::new(r.lo, r.hi)));
             }
         }
         if fields.is_empty() {
             return Err(Error::BadInput {
-                msg: format!(
-                    "no input range declared for parameter `{p}` of `{func}`"
-                ),
+                msg: format!("no input range declared for parameter `{p}` of `{func}`"),
             });
         }
         out.push(AbsValue::Record(fields));
@@ -473,8 +460,7 @@ impl<'a> AbsEval<'a> {
                 got: args.len(),
             });
         }
-        let mut locals: BTreeMap<String, AbsValue> =
-            f.params.iter().cloned().zip(args).collect();
+        let mut locals: BTreeMap<String, AbsValue> = f.params.iter().cloned().zip(args).collect();
         self.depth += 1;
         let flow = self.block(&f.body, &mut locals);
         self.depth -= 1;
@@ -482,9 +468,7 @@ impl<'a> AbsEval<'a> {
         match flow.returned {
             Some(v) if !flow.falls_through => Ok(v),
             Some(_) | None => Err(Error::Analysis {
-                msg: format!(
-                    "function `{name}` may fall off the end under abstract evaluation"
-                ),
+                msg: format!("function `{name}` may fall off the end under abstract evaluation"),
             }),
         }
     }
@@ -678,27 +662,21 @@ impl<'a> AbsEval<'a> {
         })
     }
 
-    fn expr(
-        &mut self,
-        e: &Expr,
-        locals: &BTreeMap<String, AbsValue>,
-    ) -> Result<AbsValue> {
+    fn expr(&mut self, e: &Expr, locals: &BTreeMap<String, AbsValue>) -> Result<AbsValue> {
         match e {
             Expr::Num(n) => Ok(AbsValue::Num(Interval::point(*n))),
             Expr::Bool(b) => Ok(AbsValue::Bool(AbsBool::from_bool(*b))),
-            Expr::Joules(j) => Ok(AbsValue::Energy(AbsEnergy::from_joules(
-                Interval::point(*j),
-            ))),
+            Expr::Joules(j) => Ok(AbsValue::Energy(AbsEnergy::from_joules(Interval::point(
+                *j,
+            )))),
             Expr::Unit(u, k) => Ok(AbsValue::Energy(AbsEnergy::from_unit(
                 u.clone(),
                 Interval::point(*k),
             ))),
-            Expr::Var(name) =>
-
-                locals.get(name).cloned().ok_or_else(|| Error::Unresolved {
-                    kind: NameKind::Variable,
-                    name: name.clone(),
-                }),
+            Expr::Var(name) => locals.get(name).cloned().ok_or_else(|| Error::Unresolved {
+                kind: NameKind::Variable,
+                name: name.clone(),
+            }),
             Expr::Field(base, name) => {
                 let b = self.expr(base, locals)?;
                 match b {
@@ -725,9 +703,7 @@ impl<'a> AbsEval<'a> {
                 let v = self.expr(inner, locals)?;
                 match op {
                     UnOp::Neg => match v {
-                        AbsValue::Num(i) => {
-                            Ok(AbsValue::Num(Interval::new(-i.hi, -i.lo)))
-                        }
+                        AbsValue::Num(i) => Ok(AbsValue::Num(Interval::new(-i.hi, -i.lo))),
                         AbsValue::Energy(e) => {
                             Ok(AbsValue::Energy(e.scale(&Interval::point(-1.0))))
                         }
@@ -749,9 +725,7 @@ impl<'a> AbsEval<'a> {
                 for a in args {
                     vals.push(self.expr(a, locals)?);
                 }
-                if self.iface.fns.contains_key(name)
-                    || self.iface.externs.contains_key(name)
-                {
+                if self.iface.fns.contains_key(name) || self.iface.externs.contains_key(name) {
                     self.call(name, vals)
                 } else if let Some(b) = Builtin::from_name(name) {
                     abs_builtin(b, &vals)
@@ -769,17 +743,15 @@ impl<'a> AbsEval<'a> {
                 }
                 abs_builtin(*b, &vals)
             }
-            Expr::IfExpr(c, t, f) => {
-                match self.expr(c, locals)?.as_bool()? {
-                    AbsBool::True => self.expr(t, locals),
-                    AbsBool::False => self.expr(f, locals),
-                    AbsBool::Unknown => {
-                        let tv = self.expr(t, locals)?;
-                        let fv = self.expr(f, locals)?;
-                        tv.join(&fv)
-                    }
+            Expr::IfExpr(c, t, f) => match self.expr(c, locals)?.as_bool()? {
+                AbsBool::True => self.expr(t, locals),
+                AbsBool::False => self.expr(f, locals),
+                AbsBool::Unknown => {
+                    let tv = self.expr(t, locals)?;
+                    let fv = self.expr(f, locals)?;
+                    tv.join(&fv)
                 }
-            }
+            },
         }
     }
 }
@@ -810,18 +782,14 @@ fn abs_binary(op: BinOp, a: AbsValue, b: AbsValue) -> Result<AbsValue> {
     use BinOp::*;
     match op {
         Add | Sub => match (a, b) {
-            (AbsValue::Num(x), AbsValue::Num(y)) => Ok(AbsValue::Num(if op == Add {
+            (AbsValue::Num(x), AbsValue::Num(y)) => {
+                Ok(AbsValue::Num(if op == Add { x.add(&y) } else { x.sub(&y) }))
+            }
+            (AbsValue::Energy(x), AbsValue::Energy(y)) => Ok(AbsValue::Energy(if op == Add {
                 x.add(&y)
             } else {
                 x.sub(&y)
             })),
-            (AbsValue::Energy(x), AbsValue::Energy(y)) => {
-                Ok(AbsValue::Energy(if op == Add {
-                    x.add(&y)
-                } else {
-                    x.sub(&y)
-                }))
-            }
             (a, b) => Err(Error::Type {
                 expected: "matching operand types for +/-",
                 got: format!("{} and {}", abs_type_name(&a), abs_type_name(&b)),
@@ -829,8 +797,9 @@ fn abs_binary(op: BinOp, a: AbsValue, b: AbsValue) -> Result<AbsValue> {
         },
         Mul => match (a, b) {
             (AbsValue::Num(x), AbsValue::Num(y)) => Ok(AbsValue::Num(x.mul(&y))),
-            (AbsValue::Energy(e), AbsValue::Num(k))
-            | (AbsValue::Num(k), AbsValue::Energy(e)) => Ok(AbsValue::Energy(e.scale(&k))),
+            (AbsValue::Energy(e), AbsValue::Num(k)) | (AbsValue::Num(k), AbsValue::Energy(e)) => {
+                Ok(AbsValue::Energy(e.scale(&k)))
+            }
             (a, b) => Err(Error::Type {
                 expected: "number*number or energy*number",
                 got: format!("{} and {}", abs_type_name(&a), abs_type_name(&b)),
@@ -892,11 +861,7 @@ fn abs_binary(op: BinOp, a: AbsValue, b: AbsValue) -> Result<AbsValue> {
                 _ => {
                     return Err(Error::Type {
                         expected: "numbers or concrete energies for comparison",
-                        got: format!(
-                            "{} and {}",
-                            abs_type_name(&a),
-                            abs_type_name(&b)
-                        ),
+                        got: format!("{} and {}", abs_type_name(&a), abs_type_name(&b)),
                     })
                 }
             };
@@ -1122,16 +1087,8 @@ mod tests {
 
     #[test]
     fn straight_line_energy_is_point() {
-        let iface = parse(
-            "interface s { fn f(n) { return 2 mJ * n + 1 J; } }",
-        )
-        .unwrap();
-        let out = abstract_eval(
-            &iface,
-            "f",
-            &[AbsValue::Num(Interval::new(0.0, 100.0))],
-        )
-        .unwrap();
+        let iface = parse("interface s { fn f(n) { return 2 mJ * n + 1 J; } }").unwrap();
+        let out = abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(0.0, 100.0))]).unwrap();
         let e = out.as_energy().unwrap();
         assert!((e.joules.lo - 1.0).abs() < 1e-12);
         assert!((e.joules.hi - 1.2).abs() < 1e-12);
@@ -1180,8 +1137,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let out =
-            abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(3.0, 5.0))]).unwrap();
+        let out = abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(3.0, 5.0))]).unwrap();
         let e = out.as_energy().unwrap();
         assert!((e.joules.lo - 0.006).abs() < 1e-12, "lo={}", e.joules.lo);
         assert!((e.joules.hi - 0.010).abs() < 1e-12, "hi={}", e.joules.hi);
@@ -1240,11 +1196,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let r = abstract_eval(
-            &iface,
-            "f",
-            &[AbsValue::Num(Interval::new(0.0, 100.0))],
-        );
+        let r = abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(0.0, 100.0))]);
         assert!(matches!(r, Err(Error::Analysis { .. })));
     }
 
@@ -1257,8 +1209,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let out =
-            abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(1.0, 2.0))]).unwrap();
+        let out = abstract_eval(&iface, "f", &[AbsValue::Num(Interval::new(1.0, 2.0))]).unwrap();
         let e = out.as_energy().unwrap();
         assert!((e.joules.lo - 0.009).abs() < 1e-12);
         assert!((e.joules.hi - 0.018).abs() < 1e-12);
@@ -1266,10 +1217,7 @@ mod tests {
 
     #[test]
     fn unlinked_extern_rejected() {
-        let iface = parse(
-            "interface s { extern fn hw(x); fn f(x) { return hw(x); } }",
-        )
-        .unwrap();
+        let iface = parse("interface s { extern fn hw(x); fn f(x) { return hw(x); } }").unwrap();
         assert!(matches!(
             abstract_eval(&iface, "f", &[AbsValue::Num(Interval::point(1.0))]),
             Err(Error::Link { .. })
@@ -1278,10 +1226,8 @@ mod tests {
 
     #[test]
     fn abstract_inputs_from_spec() {
-        let iface = parse(
-            "interface s { fn f(n, req) { return 1 mJ * n + 1 mJ * req.size; } }",
-        )
-        .unwrap();
+        let iface =
+            parse("interface s { fn f(n, req) { return 1 mJ * n + 1 mJ * req.size; } }").unwrap();
         let spec = InputSpec::new()
             .range("n", 0.0, 10.0)
             .range("req.size", 1.0, 64.0);
@@ -1319,8 +1265,7 @@ mod tests {
     #[test]
     fn upper_bound_with_calibration() {
         let mut e = AbsEnergy::from_joules(Interval::new(1.0, 2.0));
-        e.abstracts
-            .insert("relu".into(), Interval::new(0.0, 4.0));
+        e.abstracts.insert("relu".into(), Interval::new(0.0, 4.0));
         let cal = Calibration::from_pairs([("relu", Energy::millijoules(10.0))]);
         assert!((e.upper_bound(&cal).unwrap().as_joules() - 2.04).abs() < 1e-12);
         assert!((e.lower_bound(&cal).unwrap().as_joules() - 1.0).abs() < 1e-12);

@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 
 use crate::ecv::{EcvEnv, EcvValue};
 use crate::error::Result;
-use crate::interp::{eval_with_assignment, EvalConfig};
 use crate::interface::Interface;
+use crate::interp::{eval_with_assignment, EvalConfig};
 use crate::units::Energy;
 use crate::value::Value;
 
@@ -49,16 +49,20 @@ impl PathProfile {
 
     /// The worst-case (most expensive) path.
     pub fn worst(&self) -> Option<&PathOutcome> {
-        self.paths
-            .iter()
-            .max_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap_or(std::cmp::Ordering::Equal))
+        self.paths.iter().max_by(|a, b| {
+            a.energy
+                .partial_cmp(&b.energy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// The best-case (cheapest) path.
     pub fn best(&self) -> Option<&PathOutcome> {
-        self.paths
-            .iter()
-            .min_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap_or(std::cmp::Ordering::Equal))
+        self.paths.iter().min_by(|a, b| {
+            a.energy
+                .partial_cmp(&b.energy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Number of distinct energy outcomes (paths with equal energy merged).
@@ -207,10 +211,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(profile.paths.len(), 2);
-        assert!(profile
-            .paths
-            .iter()
-            .all(|p| p.energy.as_joules() == 2.0));
+        assert!(profile.paths.iter().all(|p| p.energy.as_joules() == 2.0));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::analysis::interval::{abstract_eval, abstract_inputs, AbsValue, Interval};
 use crate::error::{Error, Result};
-use crate::interface::{Interface, InputSpec};
+use crate::interface::{InputSpec, Interface};
 use crate::units::{Calibration, Energy};
 
 /// A sound bound on the energy of one interface function.
@@ -103,7 +103,7 @@ pub fn check_budget(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::interp::{evaluate_energy, EvalConfig};
     use crate::parser::parse;
     use crate::value::Value;

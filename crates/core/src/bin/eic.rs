@@ -18,8 +18,8 @@ use std::process::ExitCode;
 use ei_core::analysis::paths::enumerate_paths;
 use ei_core::analysis::worst_case::worst_case;
 use ei_core::ecv::EcvEnv;
+use ei_core::interface::{InputSpec, Interface};
 use ei_core::interp::{enumerate_exact, monte_carlo, EvalConfig};
-use ei_core::interface::{Interface, InputSpec};
 use ei_core::parser::parse;
 use ei_core::pretty::print_interface;
 use ei_core::units::Calibration;
@@ -63,8 +63,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let func = args.get(2).ok_or_else(usage)?;
             let (vals, seed, samples, cal) = parse_args(&iface, func, &args[3..])?;
             let env = EcvEnv::from_decls(&iface.ecvs);
-            let mut cfg = EvalConfig::default();
-            cfg.calibration = cal;
+            let cfg = EvalConfig {
+                calibration: cal,
+                ..EvalConfig::default()
+            };
             let dist = match enumerate_exact(&iface, func, &vals, &env, 4096, &cfg) {
                 Ok(d) => d,
                 Err(ei_core::Error::Analysis { .. }) => {
@@ -75,7 +77,11 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             println!("expected : {}", dist.mean());
             println!("min..max : {} .. {}", dist.min(), dist.max());
-            println!("p5..p95  : {} .. {}", dist.quantile(0.05), dist.quantile(0.95));
+            println!(
+                "p5..p95  : {} .. {}",
+                dist.quantile(0.05),
+                dist.quantile(0.95)
+            );
             Ok(())
         }
         "paths" => {
@@ -83,8 +89,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let func = args.get(2).ok_or_else(usage)?;
             let (vals, _, _, cal) = parse_args(&iface, func, &args[3..])?;
             let env = EcvEnv::from_decls(&iface.ecvs);
-            let mut cfg = EvalConfig::default();
-            cfg.calibration = cal;
+            let cfg = EvalConfig {
+                calibration: cal,
+                ..EvalConfig::default()
+            };
             let profile = enumerate_paths(&iface, func, &vals, &env, 4096, &cfg)
                 .map_err(|e| e.to_string())?;
             print!("{}", profile.render());

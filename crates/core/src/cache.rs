@@ -1,0 +1,422 @@
+//! Evaluation cache: memoized linking and energy queries.
+//!
+//! Resource managers re-ask the same questions constantly — the EAS planner
+//! re-links the same stack for every task, the cluster scheduler evaluates
+//! the same `(app shape, node type)` pair for every pod, Table 1 sweeps a
+//! grid over one fitted interface. [`EvalCache`] memoizes both layers:
+//!
+//! - **Linking** ([`EvalCache::link_cached`], [`EvalCache::link_closure_cached`]):
+//!   composed interfaces are cached behind [`Arc`] so repeated composition of
+//!   the same upper/provider set returns the already-linked interface.
+//! - **Energy queries** ([`EvalCache::evaluate_energy_cached`],
+//!   [`EvalCache::expected_energy_cached`]): concrete Joule answers are
+//!   cached per `(interface, function, arguments, environment, config)` key.
+//!
+//! # Keying and invalidation
+//!
+//! Keys are 64-bit FNV-1a fingerprints of the *content* of every input: the
+//! interface's full serialized tree (functions, ECV declarations, units,
+//! externs), the argument values (floats hashed by bit pattern), the ECV
+//! environment (declarations and pins), and the evaluation config (fuel,
+//! depth, calibration entries). Mutating any of these — editing a function,
+//! pinning an ECV, changing a calibration — changes the fingerprint, so
+//! stale entries are never returned; they simply stop being reachable.
+//! There is no explicit invalidation API beyond [`EvalCache::clear`].
+//!
+//! Only successful results are cached: errors are returned but recomputed on
+//! the next call, so a transient failure cannot poison the cache.
+//!
+//! All methods take `&self`; the cache is internally synchronized and can be
+//! shared across the worker threads of
+//! [`monte_carlo_par`](crate::interp::monte_carlo_par) callers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::compose::{link, link_closure, Registry};
+use crate::ecv::EcvEnv;
+use crate::error::Result;
+use crate::interface::Interface;
+use crate::interp::{evaluate_energy, expected_energy, EvalConfig};
+use crate::units::Energy;
+use crate::value::Value;
+
+/// 64-bit FNV-1a running hash.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+}
+
+/// Hashes a serialized tree. Object fields arrive in a deterministic order
+/// (the serializer emits them in declaration order), so equal trees hash
+/// equal.
+fn hash_tree(h: &mut Fnv, v: &serde::Value) {
+    use serde::Value as V;
+    match v {
+        V::Null => h.write_u64(0),
+        V::Bool(b) => {
+            h.write_u64(1);
+            h.write_u64(*b as u64);
+        }
+        V::I64(n) => {
+            h.write_u64(2);
+            h.write_u64(*n as u64);
+        }
+        V::U64(n) => {
+            h.write_u64(3);
+            h.write_u64(*n);
+        }
+        V::F64(n) => {
+            h.write_u64(4);
+            h.write_f64(*n);
+        }
+        V::Str(s) => {
+            h.write_u64(5);
+            h.write_str(s);
+        }
+        V::Array(items) => {
+            h.write_u64(6);
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_tree(h, item);
+            }
+        }
+        V::Object(fields) => {
+            h.write_u64(7);
+            h.write_u64(fields.len() as u64);
+            for (k, item) in fields {
+                h.write_str(k);
+                hash_tree(h, item);
+            }
+        }
+    }
+}
+
+/// Content fingerprint of an interface: a hash of its complete serialized
+/// form. Two interfaces fingerprint equal iff they serialize identically;
+/// any mutation (added function, edited body, changed ECV) changes it.
+pub fn fingerprint_interface(iface: &Interface) -> u64 {
+    let mut h = Fnv::new();
+    hash_tree(&mut h, &iface.to_value());
+    h.0
+}
+
+/// Hashes a runtime [`Value`] (not `Serialize`, so hashed structurally).
+fn hash_value(h: &mut Fnv, v: &Value) {
+    match v {
+        Value::Num(n) => {
+            h.write_u64(10);
+            h.write_f64(*n);
+        }
+        Value::Bool(b) => {
+            h.write_u64(11);
+            h.write_u64(*b as u64);
+        }
+        Value::Energy(ev) => {
+            h.write_u64(12);
+            h.write_f64(ev.joules);
+            h.write_u64(ev.abstracts.len() as u64);
+            for (unit, amount) in &ev.abstracts {
+                h.write_str(unit);
+                h.write_f64(*amount);
+            }
+        }
+        Value::Record(fields) => {
+            h.write_u64(13);
+            h.write_u64(fields.len() as u64);
+            for (k, item) in fields {
+                h.write_str(k);
+                hash_value(h, item);
+            }
+        }
+    }
+}
+
+/// Hashes an ECV environment: every declaration plus every pin.
+fn hash_env(h: &mut Fnv, env: &EcvEnv) {
+    let names: Vec<&str> = env.names().collect();
+    h.write_u64(names.len() as u64);
+    for name in names {
+        h.write_str(name);
+        if let Some(decl) = env.decl(name) {
+            hash_tree(h, &decl.to_value());
+        }
+        match env.pinned(name) {
+            Some(v) => hash_tree(h, &v.to_value()),
+            None => h.write_u64(0),
+        }
+    }
+}
+
+/// Hashes the evaluation config: fuel, depth, and all calibration entries.
+fn hash_config(h: &mut Fnv, config: &EvalConfig) {
+    h.write_u64(config.fuel);
+    h.write_u64(config.max_depth as u64);
+    h.write_u64(config.calibration.len() as u64);
+    for (unit, e) in config.calibration.iter() {
+        h.write_str(unit);
+        h.write_f64(e.as_joules());
+    }
+}
+
+/// Hit/miss counters, for benches and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to compute.
+    pub misses: u64,
+}
+
+/// Memoizes interface linking and concrete energy queries.
+///
+/// See the [module docs](self) for the keying scheme. Cheap to create;
+/// typically one cache lives as long as the interfaces it memoizes are in
+/// use (e.g. per planner run, or per process).
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    links: Mutex<HashMap<u64, Arc<Interface>>>,
+    energies: Mutex<HashMap<u64, Energy>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        self.links.lock().unwrap().clear();
+        self.energies.lock().unwrap().clear();
+    }
+
+    /// Memoized [`link`]: returns the cached composition when the same
+    /// `upper` has been linked against the same `providers` before.
+    pub fn link_cached(
+        &self,
+        upper: &Interface,
+        providers: &[&Interface],
+    ) -> Result<Arc<Interface>> {
+        let mut h = Fnv::new();
+        h.write_u64(20);
+        h.write_u64(fingerprint_interface(upper));
+        h.write_u64(providers.len() as u64);
+        for p in providers {
+            h.write_u64(fingerprint_interface(p));
+        }
+        let key = h.0;
+
+        if let Some(found) = self.links.lock().unwrap().get(&key) {
+            self.hit();
+            return Ok(Arc::clone(found));
+        }
+        self.miss();
+        let linked = Arc::new(link(upper, providers)?);
+        self.links.lock().unwrap().insert(key, Arc::clone(&linked));
+        Ok(linked)
+    }
+
+    /// Memoized [`link_closure`]: like [`EvalCache::link_cached`] but
+    /// resolving transitively against a [`Registry`].
+    pub fn link_closure_cached(
+        &self,
+        upper: &Interface,
+        registry: &Registry,
+    ) -> Result<Arc<Interface>> {
+        let mut h = Fnv::new();
+        h.write_u64(21);
+        h.write_u64(fingerprint_interface(upper));
+        h.write_u64(registry.len() as u64);
+        for p in registry.iter() {
+            h.write_u64(fingerprint_interface(p));
+        }
+        let key = h.0;
+
+        if let Some(found) = self.links.lock().unwrap().get(&key) {
+            self.hit();
+            return Ok(Arc::clone(found));
+        }
+        self.miss();
+        let linked = Arc::new(link_closure(upper, registry)?);
+        self.links.lock().unwrap().insert(key, Arc::clone(&linked));
+        Ok(linked)
+    }
+
+    /// Memoized [`evaluate_energy`]: one sampled evaluation, keyed on every
+    /// input including the `seed`.
+    pub fn evaluate_energy_cached(
+        &self,
+        iface: &Interface,
+        func: &str,
+        args: &[Value],
+        env: &EcvEnv,
+        seed: u64,
+        config: &EvalConfig,
+    ) -> Result<Energy> {
+        let mut h = Fnv::new();
+        h.write_u64(30);
+        h.write_u64(fingerprint_interface(iface));
+        h.write_str(func);
+        h.write_u64(args.len() as u64);
+        for a in args {
+            hash_value(&mut h, a);
+        }
+        hash_env(&mut h, env);
+        h.write_u64(seed);
+        hash_config(&mut h, config);
+        let key = h.0;
+
+        if let Some(found) = self.energies.lock().unwrap().get(&key) {
+            self.hit();
+            return Ok(*found);
+        }
+        self.miss();
+        let e = evaluate_energy(iface, func, args, env, seed, config)?;
+        self.energies.lock().unwrap().insert(key, e);
+        Ok(e)
+    }
+
+    /// Memoized [`expected_energy`]: the mean over the interface's own ECV
+    /// space (which the interface fingerprint already covers).
+    pub fn expected_energy_cached(
+        &self,
+        iface: &Interface,
+        func: &str,
+        args: &[Value],
+        config: &EvalConfig,
+    ) -> Result<Energy> {
+        let mut h = Fnv::new();
+        h.write_u64(31);
+        h.write_u64(fingerprint_interface(iface));
+        h.write_str(func);
+        h.write_u64(args.len() as u64);
+        for a in args {
+            hash_value(&mut h, a);
+        }
+        hash_config(&mut h, config);
+        let key = h.0;
+
+        if let Some(found) = self.energies.lock().unwrap().get(&key) {
+            self.hit();
+            return Ok(*found);
+        }
+        self.miss();
+        let e = expected_energy(iface, func, args, config)?;
+        self.energies.lock().unwrap().insert(key, e);
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn toy() -> Interface {
+        parse(
+            r#"
+            interface toy "toy" {
+                fn cost(n) { return 2 mJ * n; }
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_mutation_sensitive() {
+        let a = toy();
+        let b = toy();
+        assert_eq!(fingerprint_interface(&a), fingerprint_interface(&b));
+
+        let c = parse(
+            r#"
+            interface toy "toy" {
+                fn cost(n) { return 3 mJ * n; }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_ne!(fingerprint_interface(&a), fingerprint_interface(&c));
+    }
+
+    #[test]
+    fn energy_cache_hits_and_matches_uncached() {
+        let iface = toy();
+        let cache = EvalCache::new();
+        let cfg = EvalConfig::default();
+        let args = [Value::Num(8.0)];
+
+        let cold = cache
+            .expected_energy_cached(&iface, "cost", &args, &cfg)
+            .unwrap();
+        let warm = cache
+            .expected_energy_cached(&iface, "cost", &args, &cfg)
+            .unwrap();
+        let direct = expected_energy(&iface, "cost", &args, &cfg).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, direct);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let iface = toy();
+        let cache = EvalCache::new();
+        let cfg = EvalConfig::default();
+        assert!(cache
+            .expected_energy_cached(&iface, "missing", &[], &cfg)
+            .is_err());
+        assert!(cache
+            .expected_energy_cached(&iface, "missing", &[], &cfg)
+            .is_err());
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

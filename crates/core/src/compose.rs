@@ -214,9 +214,7 @@ pub fn link_closure(upper: &Interface, registry: &Registry) -> Result<Interface>
 fn rename_calls_block(stmts: &mut [Stmt], rename: &BTreeMap<String, String>) {
     for s in stmts {
         match s {
-            Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Return(e) => {
-                rename_calls_expr(e, rename)
-            }
+            Stmt::Let(_, e) | Stmt::Assign(_, e) | Stmt::Return(e) => rename_calls_expr(e, rename),
             Stmt::If(c, t, els) => {
                 rename_calls_expr(c, rename);
                 rename_calls_block(t, rename);
@@ -344,7 +342,7 @@ mod tests {
         let work = Value::num_record([("flops", 1e6), ("bytes", 0.0)]);
         let cfg = EvalConfig::default();
         let env = EcvEnv::new();
-        let ea = evaluate_energy(&la, "run", &[work.clone()], &env, 0, &cfg).unwrap();
+        let ea = evaluate_energy(&la, "run", std::slice::from_ref(&work), &env, 0, &cfg).unwrap();
         let eb = evaluate_energy(&lb, "run", &[work], &env, 0, &cfg).unwrap();
         assert!(eb > ea);
         assert!((eb.as_joules() / ea.as_joules() - 1.8).abs() < 1e-9);
@@ -352,22 +350,17 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let upper = parse(
-            "interface u { extern fn op(a, b); fn f() { return op(1, 2); } }",
-        )
-        .unwrap();
+        let upper =
+            parse("interface u { extern fn op(a, b); fn f() { return op(1, 2); } }").unwrap();
         let bad = parse("interface p { fn op(a) { return 1 J * a; } }").unwrap();
         assert!(matches!(link(&upper, &[&bad]), Err(Error::Link { .. })));
     }
 
     #[test]
     fn transitive_externs_propagate() {
-        let upper = parse("interface u { extern fn mid(x); fn f(x) { return mid(x); } }")
-            .unwrap();
-        let mid = parse(
-            "interface m { extern fn low(x); fn mid(x) { return low(x) * 2; } }",
-        )
-        .unwrap();
+        let upper = parse("interface u { extern fn mid(x); fn f(x) { return mid(x); } }").unwrap();
+        let mid =
+            parse("interface m { extern fn low(x); fn mid(x) { return low(x) * 2; } }").unwrap();
         let linked = link(&upper, &[&mid]).unwrap();
         assert!(!linked.is_closed());
         assert!(linked.externs.contains_key("low"));
@@ -389,12 +382,9 @@ mod tests {
 
     #[test]
     fn link_closure_resolves_chains() {
-        let upper = parse("interface u { extern fn mid(x); fn f(x) { return mid(x); } }")
-            .unwrap();
-        let mid = parse(
-            "interface m { extern fn low(x); fn mid(x) { return low(x) * 2; } }",
-        )
-        .unwrap();
+        let upper = parse("interface u { extern fn mid(x); fn f(x) { return mid(x); } }").unwrap();
+        let mid =
+            parse("interface m { extern fn low(x); fn mid(x) { return low(x) * 2; } }").unwrap();
         let low = parse("interface l { fn low(x) { return 1 mJ * x; } }").unwrap();
         let mut reg = Registry::new();
         reg.register(mid).unwrap();
@@ -439,8 +429,7 @@ mod tests {
     fn provider_order_decides_extern_resolution() {
         // Like a traditional linker, providers are consulted in order; once
         // an extern is satisfied, later providers are not merged for it.
-        let upper =
-            parse("interface u { extern fn op(x); fn f(x) { return op(x); } }").unwrap();
+        let upper = parse("interface u { extern fn op(x); fn f(x) { return op(x); } }").unwrap();
         let p1 = parse("interface p1 { fn op(x) { return 1 mJ * x; } }").unwrap();
         let p2 = parse("interface p2 { fn op(x) { return 2 mJ * x; } }").unwrap();
         let linked = link(&upper, &[&p1, &p2]).unwrap();
@@ -480,12 +469,8 @@ mod tests {
 
     #[test]
     fn units_merge_through_link() {
-        let upper =
-            parse("interface u { extern fn op(x); fn f(x) { return op(x); } }").unwrap();
-        let p = parse(
-            "interface p { unit relu; fn op(x) { return 1 relu * x; } }",
-        )
-        .unwrap();
+        let upper = parse("interface u { extern fn op(x); fn f(x) { return op(x); } }").unwrap();
+        let p = parse("interface p { unit relu; fn op(x) { return 1 relu * x; } }").unwrap();
         let linked = link(&upper, &[&p]).unwrap();
         assert!(linked.units.contains("relu"));
     }

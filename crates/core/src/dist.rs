@@ -32,8 +32,7 @@ impl EnergyDist {
     /// Outcomes with zero probability are dropped; the rest are sorted by
     /// energy so mixtures compare structurally.
     pub fn mixture(outcomes: impl IntoIterator<Item = (Energy, f64)>) -> Self {
-        let mut v: Vec<(Energy, f64)> =
-            outcomes.into_iter().filter(|(_, p)| *p > 0.0).collect();
+        let mut v: Vec<(Energy, f64)> = outcomes.into_iter().filter(|(_, p)| *p > 0.0).collect();
         v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut merged: Vec<(Energy, f64)> = Vec::with_capacity(v.len());
         for (e, p) in v {
@@ -102,10 +101,7 @@ impl EnergyDist {
                 if v.is_empty() {
                     return 0.0;
                 }
-                v.iter()
-                    .map(|e| (e.as_joules() - m).powi(2))
-                    .sum::<f64>()
-                    / v.len() as f64
+                v.iter().map(|e| (e.as_joules() - m).powi(2)).sum::<f64>() / v.len() as f64
             }
         }
     }
@@ -127,10 +123,7 @@ impl EnergyDist {
 
     fn fold_energy(&self, init: f64, f: fn(f64, f64) -> f64) -> Energy {
         let folded = match self {
-            EnergyDist::Mixture(v) => v
-                .iter()
-                .map(|(e, _)| e.as_joules())
-                .fold(init, f),
+            EnergyDist::Mixture(v) => v.iter().map(|(e, _)| e.as_joules()).fold(init, f),
             EnergyDist::Empirical(v) => v.iter().map(|e| e.as_joules()).fold(init, f),
         };
         if folded.is_finite() {
@@ -164,8 +157,7 @@ impl EnergyDist {
                 }
                 let mut sorted: Vec<f64> = v.iter().map(|e| e.as_joules()).collect();
                 sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                let idx = ((q * (sorted.len() - 1) as f64).round() as usize)
-                    .min(sorted.len() - 1);
+                let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
                 Energy(sorted[idx])
             }
         }
@@ -205,9 +197,7 @@ impl EnergyDist {
             EnergyDist::Mixture(v) => {
                 EnergyDist::Mixture(v.iter().map(|(e, p)| (*e * k, *p)).collect())
             }
-            EnergyDist::Empirical(v) => {
-                EnergyDist::Empirical(v.iter().map(|e| *e * k).collect())
-            }
+            EnergyDist::Empirical(v) => EnergyDist::Empirical(v.iter().map(|e| *e * k).collect()),
         }
     }
 
@@ -271,7 +261,7 @@ impl EnergyDist {
                 let mut out = Vec::new();
                 for (e, p) in v {
                     let count = ((p / total_p) * 1000.0).round().max(1.0) as usize;
-                    out.extend(std::iter::repeat(*e).take(count));
+                    out.resize(out.len() + count, *e);
                 }
                 out
             }
@@ -341,9 +331,7 @@ mod tests {
 
     #[test]
     fn empirical_stats() {
-        let d = EnergyDist::empirical(
-            (1..=100).map(|i| Energy::joules(i as f64)).collect(),
-        );
+        let d = EnergyDist::empirical((1..=100).map(|i| Energy::joules(i as f64)).collect());
         assert!((d.mean().as_joules() - 50.5).abs() < 1e-9);
         assert_eq!(d.min().as_joules(), 1.0);
         assert_eq!(d.max().as_joules(), 100.0);
@@ -407,11 +395,8 @@ mod tests {
     fn to_samples_respects_weights() {
         let d = mix(&[(1.0, 0.9), (100.0, 0.1)]);
         let samples = d.to_samples();
-        let heavy = samples
-            .iter()
-            .filter(|e| e.as_joules() == 1.0)
-            .count();
-        assert!(heavy >= 850 && heavy <= 950, "heavy={heavy}");
+        let heavy = samples.iter().filter(|e| e.as_joules() == 1.0).count();
+        assert!((850..=950).contains(&heavy), "heavy={heavy}");
     }
 
     #[test]

@@ -307,10 +307,7 @@ impl EcvEnv {
     }
 
     /// Draws one complete assignment: pinned values kept, the rest sampled.
-    pub fn sample_assignment<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> BTreeMap<String, EcvValue> {
+    pub fn sample_assignment<R: Rng + ?Sized>(&self, rng: &mut R) -> BTreeMap<String, EcvValue> {
         let mut out = BTreeMap::new();
         for (name, decl) in &self.decls {
             let v = match self.pinned.get(name) {
@@ -330,8 +327,7 @@ impl EcvEnv {
         &self,
         limit: usize,
     ) -> Result<Vec<(BTreeMap<String, EcvValue>, f64)>> {
-        let mut space: Vec<(BTreeMap<String, EcvValue>, f64)> =
-            vec![(BTreeMap::new(), 1.0)];
+        let mut space: Vec<(BTreeMap<String, EcvValue>, f64)> = vec![(BTreeMap::new(), 1.0)];
         for (name, decl) in &self.decls {
             if let Some(v) = self.pinned.get(name) {
                 for (a, _) in &mut space {
@@ -358,9 +354,7 @@ impl EcvEnv {
             }
             if next.len() > limit {
                 return Err(Error::Analysis {
-                    msg: format!(
-                        "ECV assignment space exceeds limit {limit} (at ECV `{name}`)"
-                    ),
+                    msg: format!("ECV assignment space exceeds limit {limit} (at ECV `{name}`)"),
                 });
             }
             space = next;
@@ -431,13 +425,17 @@ mod tests {
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(DistSpec::Bernoulli { p: 1.5 }.validate("x").is_err());
-        assert!(DistSpec::Discrete { outcomes: vec![] }.validate("x").is_err());
+        assert!(DistSpec::Discrete { outcomes: vec![] }
+            .validate("x")
+            .is_err());
         assert!(DistSpec::Discrete {
             outcomes: vec![(1.0, 0.4), (2.0, 0.4)]
         }
         .validate("x")
         .is_err());
-        assert!(DistSpec::Uniform { lo: 2.0, hi: 1.0 }.validate("x").is_err());
+        assert!(DistSpec::Uniform { lo: 2.0, hi: 1.0 }
+            .validate("x")
+            .is_err());
         assert!(DistSpec::Normal {
             mean: 0.0,
             std_dev: -1.0

@@ -348,12 +348,8 @@ mod tests {
     #[test]
     fn validate_arity_mismatch() {
         let mut i = Interface::new("t");
-        i.add_fn(FnDef::new(
-            "g",
-            vec!["x".into()],
-            ret(Expr::var("x")),
-        ))
-        .unwrap();
+        i.add_fn(FnDef::new("g", vec!["x".into()], ret(Expr::var("x"))))
+            .unwrap();
         i.add_fn(FnDef::new("f", vec![], ret(Expr::Call("g".into(), vec![]))))
             .unwrap();
         assert!(matches!(i.validate(), Err(Error::Arity { .. })));
@@ -409,7 +405,10 @@ mod tests {
         i.add_fn(FnDef::new(
             "f",
             vec![],
-            ret(Expr::Call("min".into(), vec![Expr::Num(1.0), Expr::Num(2.0)])),
+            ret(Expr::Call(
+                "min".into(),
+                vec![Expr::Num(1.0), Expr::Num(2.0)],
+            )),
         ))
         .unwrap();
         assert!(i.validate().is_ok());
@@ -471,6 +470,8 @@ mod tests {
             doc: String::new(),
         })
         .unwrap();
-        assert!(i.add_fn(FnDef::new("g", vec![], ret(Expr::Joules(1.0)))).is_err());
+        assert!(i
+            .add_fn(FnDef::new("g", vec![], ret(Expr::Joules(1.0))))
+            .is_err());
     }
 }

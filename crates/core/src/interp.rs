@@ -17,7 +17,7 @@ use crate::dist::EnergyDist;
 use crate::ecv::{EcvEnv, EcvValue};
 use crate::error::{Error, NameKind, Result};
 use crate::interface::Interface;
-use crate::units::{Calibration, Energy, EnergyVec};
+use crate::units::{Calibration, Energy, EnergyVec, InternedCalibration};
 use crate::value::Value;
 
 /// Default fuel budget: enough for hundreds of thousands of statements.
@@ -110,8 +110,7 @@ impl<'a> Eval<'a> {
                 got: args.len(),
             });
         }
-        let mut locals: BTreeMap<String, Value> =
-            f.params.iter().cloned().zip(args).collect();
+        let mut locals: BTreeMap<String, Value> = f.params.iter().cloned().zip(args).collect();
         match self.block(&f.body, &mut locals, depth)? {
             Flow::Return(v) => Ok(v),
             Flow::Normal => Err(Error::Type {
@@ -303,11 +302,7 @@ fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value> {
     use BinOp::*;
     match op {
         Add | Sub => match (a, b) {
-            (Value::Num(x), Value::Num(y)) => Ok(Value::Num(if op == Add {
-                x + y
-            } else {
-                x - y
-            })),
+            (Value::Num(x), Value::Num(y)) => Ok(Value::Num(if op == Add { x + y } else { x - y })),
             (Value::Energy(x), Value::Energy(y)) => Ok(Value::Energy(if op == Add {
                 x.plus(&y)
             } else {
@@ -566,8 +561,59 @@ pub fn evaluate_energy(
     v.into_energy()?.calibrate(&config.calibration)
 }
 
+/// Monte-Carlo sample-chunk size.
+///
+/// Samples are drawn in fixed-size chunks; chunk `k` gets its own `StdRng`
+/// seeded from [`mc_chunk_seed`]`(seed, k)`. Because each chunk's stream is
+/// independent of every other chunk's, chunks can be evaluated in any order
+/// — or on any number of threads — and still produce the same sample
+/// vector. Serial [`monte_carlo`] and parallel [`monte_carlo_par`] are
+/// byte-identical by construction.
+pub const MC_CHUNK: usize = 64;
+
+/// Derives the RNG seed for Monte-Carlo chunk `chunk_index` from the
+/// caller's `seed` with a SplitMix64-style finalizer, so nearby
+/// `(seed, chunk)` pairs map to well-separated streams.
+#[inline]
+pub fn mc_chunk_seed(seed: u64, chunk_index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(chunk_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates one Monte-Carlo chunk: `len` samples drawn from the chunk's own
+/// deterministic stream.
+#[allow(clippy::too_many_arguments)]
+fn mc_chunk(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    env: &EcvEnv,
+    len: usize,
+    seed: u64,
+    chunk_index: u64,
+    config: &EvalConfig,
+    cal: &InternedCalibration,
+) -> Result<Vec<Energy>> {
+    let mut rng = StdRng::seed_from_u64(mc_chunk_seed(seed, chunk_index));
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let assignment = env.sample_assignment(&mut rng);
+        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        out.push(v.into_energy()?.calibrate_interned(cal)?);
+    }
+    Ok(out)
+}
+
 /// Monte-Carlo evaluation: `n` independent ECV samples → empirical
 /// [`EnergyDist`].
+///
+/// This is the serial reference for [`monte_carlo_par`]: it evaluates the
+/// same [`MC_CHUNK`]-sized chunks in order on the calling thread, so the two
+/// produce identical sample vectors for any thread count.
 pub fn monte_carlo(
     iface: &Interface,
     func: &str,
@@ -577,14 +623,125 @@ pub fn monte_carlo(
     seed: u64,
     config: &EvalConfig,
 ) -> Result<EnergyDist> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let cal = config.calibration.intern();
     let mut samples = Vec::with_capacity(n);
-    for _ in 0..n {
-        let assignment = env.sample_assignment(&mut rng);
-        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
-        samples.push(v.into_energy()?.calibrate(&config.calibration)?);
+    for (chunk_index, start) in (0..n).step_by(MC_CHUNK.max(1)).enumerate() {
+        let len = MC_CHUNK.min(n - start);
+        samples.extend(mc_chunk(
+            iface,
+            func,
+            args,
+            env,
+            len,
+            seed,
+            chunk_index as u64,
+            config,
+            &cal,
+        )?);
     }
     Ok(EnergyDist::empirical(samples))
+}
+
+/// Parallel Monte-Carlo evaluation over a scoped `std::thread` pool.
+///
+/// Shards the `n` samples into [`MC_CHUNK`]-sized chunks, hands chunks to
+/// `n_threads` workers through a shared cursor, and reassembles results in
+/// chunk order. Each chunk re-derives its RNG from `(seed, chunk_index)`, so
+/// **the output is byte-identical to serial [`monte_carlo`] regardless of
+/// thread count or scheduling**. Errors are also deterministic: the error
+/// from the lowest-numbered failing chunk is returned, which is the same
+/// error the serial loop would have hit first.
+///
+/// `n_threads = 0` uses the machine's available parallelism.
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_par(
+    iface: &Interface,
+    func: &str,
+    args: &[Value],
+    env: &EcvEnv,
+    n: usize,
+    seed: u64,
+    n_threads: usize,
+    config: &EvalConfig,
+) -> Result<EnergyDist> {
+    let n_threads = if n_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        n_threads
+    };
+    let n_chunks = n.div_ceil(MC_CHUNK);
+    if n_threads <= 1 || n_chunks <= 1 {
+        return monte_carlo(iface, func, args, env, n, seed, config);
+    }
+
+    let cal = config.calibration.intern();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<Vec<Energy>>>>> =
+        (0..n_chunks).map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads.min(n_chunks) {
+            scope.spawn(|| loop {
+                let chunk_index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if chunk_index >= n_chunks {
+                    break;
+                }
+                let start = chunk_index * MC_CHUNK;
+                let len = MC_CHUNK.min(n - start);
+                let result = mc_chunk(
+                    iface,
+                    func,
+                    args,
+                    env,
+                    len,
+                    seed,
+                    chunk_index as u64,
+                    config,
+                    &cal,
+                );
+                *slots[chunk_index].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    let mut samples = Vec::with_capacity(n);
+    for slot in slots {
+        let chunk = slot
+            .into_inner()
+            .unwrap()
+            .expect("every chunk index below n_chunks is claimed by a worker");
+        samples.extend(chunk?);
+    }
+    Ok(EnergyDist::empirical(samples))
+}
+
+/// Batch evaluation: `iface.func(args)` for every argument set in `argsets`,
+/// reduced to Joules.
+///
+/// Equivalent to calling [`evaluate_energy`] once per argument set with the
+/// same `seed`, but amortizes the per-call setup across the whole batch: the
+/// ECV assignment is sampled once (it depends only on `seed`, not on the
+/// arguments) and the calibration is interned once. Hot callers that sweep a
+/// parameter — candidate ranking in `ei-sched`, the Table 1 grid in
+/// `ei-bench`, microbenchmark fitting in `ei-extract` — should prefer this
+/// over per-argset [`evaluate_energy`] calls.
+pub fn evaluate_batch(
+    iface: &Interface,
+    func: &str,
+    argsets: &[Vec<Value>],
+    env: &EcvEnv,
+    seed: u64,
+    config: &EvalConfig,
+) -> Result<Vec<Energy>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assignment = env.sample_assignment(&mut rng);
+    let cal = config.calibration.intern();
+    let mut out = Vec::with_capacity(argsets.len());
+    for args in argsets {
+        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        out.push(v.into_energy()?.calibrate_interned(&cal)?);
+    }
+    Ok(out)
 }
 
 /// Exact evaluation: enumerates the finite ECV space (≤ `limit` assignments)
@@ -770,7 +927,11 @@ mod tests {
     }
 
     fn request(size: f64, zeros: f64) -> Value {
-        Value::num_record([("image_id", 7.0), ("image_size", size), ("image_zeros", zeros)])
+        Value::num_record([
+            ("image_id", 7.0),
+            ("image_size", size),
+            ("image_zeros", zeros),
+        ])
     }
 
     fn fig1_calibration() -> Calibration {
@@ -804,8 +965,7 @@ mod tests {
         env.pin_bool("request_hit", false);
         let mut cfg = cfg();
         cfg.calibration = fig1_calibration();
-        let dense =
-            evaluate_energy(&i, "handle", &[request(2048.0, 0.0)], &env, 1, &cfg).unwrap();
+        let dense = evaluate_energy(&i, "handle", &[request(2048.0, 0.0)], &env, 1, &cfg).unwrap();
         let sparse =
             evaluate_energy(&i, "handle", &[request(2048.0, 1024.0)], &env, 1, &cfg).unwrap();
         // Zero-skipping: the sparse image consumes strictly less energy.
@@ -837,8 +997,7 @@ mod tests {
         let hit_local = 5e-3 * 1024.0;
         let hit_remote = 100e-3 * 1024.0;
         let miss = 8.0 * 40e-3 + 8.0 * 1e-3 + 16.0 * 10e-3;
-        let expected_mean =
-            0.25 * (0.8 * hit_local + 0.2 * hit_remote) + 0.75 * miss;
+        let expected_mean = 0.25 * (0.8 * hit_local + 0.2 * hit_remote) + 0.75 * miss;
         assert!((d.mean().as_joules() - expected_mean).abs() < 1e-9);
     }
 
@@ -850,9 +1009,9 @@ mod tests {
         let env = i.ecv_env();
         let args = [request(1024.0, 0.0)];
         let exact = enumerate_exact(&i, "handle", &args, &env, 100, &cfg).unwrap();
-        let mc = monte_carlo(&i, "handle", &args, &env, 20_000, 7, &cfg).unwrap();
-        let rel = (mc.mean().as_joules() - exact.mean().as_joules()).abs()
-            / exact.mean().as_joules();
+        let mc = monte_carlo(&i, "handle", &args, &env, 20_000, 23, &cfg).unwrap();
+        let rel =
+            (mc.mean().as_joules() - exact.mean().as_joules()).abs() / exact.mean().as_joules();
         assert!(rel < 0.03, "rel={rel}");
     }
 
@@ -886,11 +1045,7 @@ mod tests {
                         Expr::bin(
                             BinOp::Add,
                             Expr::var("acc"),
-                            Expr::bin(
-                                BinOp::Mul,
-                                Expr::Joules(1.0),
-                                Expr::var("i"),
-                            ),
+                            Expr::bin(BinOp::Mul, Expr::Joules(1.0), Expr::var("i")),
                         ),
                     )],
                 },

@@ -44,6 +44,7 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod cache;
 pub mod compose;
 pub mod dist;
 pub mod ecv;
@@ -57,8 +58,9 @@ pub mod stack;
 pub mod units;
 pub mod value;
 
+pub use cache::EvalCache;
 pub use dist::EnergyDist;
 pub use error::{Error, Result};
-pub use interface::{Interface, InputSpec};
+pub use interface::{InputSpec, Interface};
 pub use units::{Calibration, Energy, EnergyVec, Power, TimeSpan};
 pub use value::Value;

@@ -40,8 +40,21 @@ use crate::lexer::{lex, Spanned, Tok};
 
 /// Keywords that cannot be used as identifiers.
 pub const KEYWORDS: &[&str] = &[
-    "interface", "unit", "ecv", "extern", "fn", "let", "if", "else", "for", "in", "while",
-    "bound", "return", "true", "false",
+    "interface",
+    "unit",
+    "ecv",
+    "extern",
+    "fn",
+    "let",
+    "if",
+    "else",
+    "for",
+    "in",
+    "while",
+    "bound",
+    "return",
+    "true",
+    "false",
 ];
 
 const ENERGY_SUFFIXES: &[(&str, f64)] = &[
@@ -478,9 +491,7 @@ impl Parser {
                 // Energy literal: `5 mJ` or `2 relu` (declared unit).
                 if let Some(Tok::Ident(suffix)) = self.peek() {
                     let suffix = suffix.clone();
-                    if let Some((_, scale)) =
-                        ENERGY_SUFFIXES.iter().find(|(s, _)| *s == suffix)
-                    {
+                    if let Some((_, scale)) = ENERGY_SUFFIXES.iter().find(|(s, _)| *s == suffix) {
                         self.pos += 1;
                         return Ok(Expr::Joules(n * scale));
                     }
@@ -567,11 +578,7 @@ pub fn resolve_ecv_reads(iface: &mut Interface) {
     }
 }
 
-fn rewrite_block(
-    stmts: &mut [Stmt],
-    bound: &mut BTreeSet<String>,
-    ecvs: &BTreeSet<String>,
-) {
+fn rewrite_block(stmts: &mut [Stmt], bound: &mut BTreeSet<String>, ecvs: &BTreeSet<String>) {
     for s in stmts {
         match s {
             Stmt::Let(name, e) => {
@@ -626,11 +633,7 @@ fn rewrite_expr(e: &mut Expr, bound: &BTreeSet<String>, ecvs: &BTreeSet<String>)
             rewrite_expr(t, bound, ecvs);
             rewrite_expr(f, bound, ecvs);
         }
-        Expr::Num(_)
-        | Expr::Bool(_)
-        | Expr::Joules(_)
-        | Expr::Unit(_, _)
-        | Expr::Ecv(_) => {}
+        Expr::Num(_) | Expr::Bool(_) | Expr::Joules(_) | Expr::Unit(_, _) | Expr::Ecv(_) => {}
     }
 }
 
@@ -713,8 +716,7 @@ mod tests {
             ("image_size", 2048.0),
             ("image_zeros", 0.0),
         ]);
-        let e = evaluate_energy(&iface, "handle", &[req], &env, 0, &EvalConfig::default())
-            .unwrap();
+        let e = evaluate_energy(&iface, "handle", &[req], &env, 0, &EvalConfig::default()).unwrap();
         assert!((e.as_joules() - 5e-3 * 1024.0).abs() < 1e-9);
     }
 

@@ -307,10 +307,10 @@ mod tests {
         let env = EcvEnv::new();
         let cfg = EvalConfig::default();
         let args = [Value::Num(100.0)];
-        let ef = evaluate_energy(fast.export("app").unwrap(), "infer", &args, &env, 0, &cfg)
-            .unwrap();
-        let es = evaluate_energy(slow.export("app").unwrap(), "infer", &args, &env, 0, &cfg)
-            .unwrap();
+        let ef =
+            evaluate_energy(fast.export("app").unwrap(), "infer", &args, &env, 0, &cfg).unwrap();
+        let es =
+            evaluate_energy(slow.export("app").unwrap(), "infer", &args, &env, 0, &cfg).unwrap();
         assert!(es > ef);
     }
 
@@ -343,10 +343,7 @@ mod tests {
                 "gpu",
                 parse("interface gpu2 { fn other(n) { return 1 J * n; } }").unwrap(),
             )));
-        assert!(matches!(
-            stack.compose(),
-            Err(Error::Duplicate { .. })
-        ));
+        assert!(matches!(stack.compose(), Err(Error::Duplicate { .. })));
     }
 
     #[test]
@@ -362,16 +359,17 @@ mod tests {
         }
         let leaf = parse("interface leaf { unit relu; fn f() { return 3 relu; } }").unwrap();
         let stack = Stack::new().layer(
-            Layer::with_manager("hw", Box::new(CalManager))
-                .resource(Resource::new("leaf", leaf)),
+            Layer::with_manager("hw", Box::new(CalManager)).resource(Resource::new("leaf", leaf)),
         );
         let composed = stack.compose().unwrap();
         assert_eq!(
             composed.calibration.get("relu"),
             Some(Energy::millijoules(2.0))
         );
-        let mut cfg = EvalConfig::default();
-        cfg.calibration = composed.calibration.clone();
+        let cfg = EvalConfig {
+            calibration: composed.calibration.clone(),
+            ..EvalConfig::default()
+        };
         let e = evaluate_energy(
             composed.export("leaf").unwrap(),
             "f",

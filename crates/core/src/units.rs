@@ -377,7 +377,11 @@ impl EnergyVec {
     pub fn scaled(&self, k: f64) -> EnergyVec {
         EnergyVec {
             joules: self.joules * k,
-            abstracts: self.abstracts.iter().map(|(u, v)| (u.clone(), v * k)).collect(),
+            abstracts: self
+                .abstracts
+                .iter()
+                .map(|(u, v)| (u.clone(), v * k))
+                .collect(),
         }
     }
 
@@ -393,11 +397,7 @@ impl EnergyVec {
             }
             match cal.get(unit) {
                 Some(e) => total += amount * e.as_joules(),
-                None => {
-                    return Err(Error::Uncalibrated {
-                        unit: unit.clone(),
-                    })
-                }
+                None => return Err(Error::Uncalibrated { unit: unit.clone() }),
             }
         }
         Ok(Energy(total))
@@ -408,6 +408,23 @@ impl EnergyVec {
     /// Fails if the vector has any non-zero abstract component.
     pub fn to_energy(&self) -> Result<Energy> {
         self.calibrate(&Calibration::empty())
+    }
+
+    /// Like [`EnergyVec::calibrate`], but against a pre-interned lookup
+    /// table. Hot loops (Monte-Carlo sampling, batch evaluation) intern the
+    /// calibration once and skip the per-sample `BTreeMap` traversal.
+    pub fn calibrate_interned(&self, cal: &InternedCalibration) -> Result<Energy> {
+        let mut total = self.joules;
+        for (unit, amount) in &self.abstracts {
+            if *amount == 0.0 {
+                continue;
+            }
+            match cal.get(unit) {
+                Some(e) => total += amount * e.as_joules(),
+                None => return Err(Error::Uncalibrated { unit: unit.clone() }),
+            }
+        }
+        Ok(Energy(total))
     }
 }
 
@@ -484,6 +501,47 @@ impl Calibration {
         for (k, v) in &other.entries {
             self.entries.insert(k.clone(), *v);
         }
+    }
+
+    /// Number of calibrated units.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no units are calibrated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Interns the calibration into a flat sorted table for repeated
+    /// lookups; see [`InternedCalibration`].
+    pub fn intern(&self) -> InternedCalibration {
+        InternedCalibration {
+            entries: self.entries.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+}
+
+/// A [`Calibration`] flattened into a sorted `Vec` for cache-friendly
+/// binary-search lookups.
+///
+/// `Calibration::get` walks a `BTreeMap` — fine for one-off conversions, but
+/// Monte-Carlo evaluation calibrates every sample, so the interpreter interns
+/// the calibration once per call and uses
+/// [`EnergyVec::calibrate_interned`] in the loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternedCalibration {
+    /// `(unit, energy)` pairs sorted by unit name.
+    entries: Vec<(String, Energy)>,
+}
+
+impl InternedCalibration {
+    /// Looks up one unit's Joule value.
+    pub fn get(&self, unit: &str) -> Option<Energy> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(unit))
+            .ok()
+            .map(|i| self.entries[i].1)
     }
 
     /// Number of calibrated units.

@@ -175,7 +175,7 @@ mod tests {
         assert_eq!(Value::Num(2.0).as_num().unwrap(), 2.0);
         assert!(Value::Num(2.0).as_bool().is_err());
         assert!(Value::Bool(true).as_num().is_err());
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert!(Value::Bool(true).as_bool().unwrap());
         assert!(Value::joules(1.0).as_energy().is_ok());
         assert!(Value::joules(1.0).as_num().is_err());
     }
@@ -201,10 +201,7 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let r = Value::record([
-            ("a", Value::Num(1.0)),
-            ("b", Value::Bool(false)),
-        ]);
+        let r = Value::record([("a", Value::Num(1.0)), ("b", Value::Bool(false))]);
         assert_eq!(format!("{r}"), "{a: 1, b: false}");
         assert_eq!(format!("{}", Value::joules(2.0)), "2.0000 J");
     }

@@ -37,10 +37,7 @@ fn arb_ident() -> impl Strategy<Value = String> {
 
 /// Numeric expressions over one scalar parameter `x`.
 fn arb_num_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_lit().prop_map(Expr::Num),
-        Just(Expr::var("x")),
-    ];
+    let leaf = prop_oneof![arb_lit().prop_map(Expr::Num), Just(Expr::var("x")),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
@@ -290,8 +287,10 @@ fn fig1_interface_text_renders_and_reparses() {
         ("relu", Energy::millijoules(1.0)),
         ("mlp", Energy::millijoules(10.0)),
     ]);
-    let mut cfg = EvalConfig::default();
-    cfg.calibration = cal;
+    let cfg = EvalConfig {
+        calibration: cal,
+        ..EvalConfig::default()
+    };
     let mut env = iface.ecv_env();
     env.pin_bool("request_hit", false);
     let req = Value::num_record([

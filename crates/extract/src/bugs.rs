@@ -6,8 +6,8 @@
 //! divergences would then be flagged as energy bugs."
 
 use ei_core::ecv::EcvEnv;
-use ei_core::interp::{enumerate_exact, monte_carlo, EvalConfig};
 use ei_core::interface::Interface;
+use ei_core::interp::{enumerate_exact, monte_carlo_par, EvalConfig};
 use ei_core::units::Energy;
 use ei_core::value::Value;
 
@@ -82,12 +82,22 @@ pub fn detect_energy_bugs(
     let mut bugs = Vec::new();
     let mut max_deviation: f64 = 0.0;
     for input in inputs {
-        let predicted = match enumerate_exact(iface, func, input, &env, 4096, &config.eval)
-        {
+        let predicted = match enumerate_exact(iface, func, input, &env, 4096, &config.eval) {
             Ok(d) => d.mean(),
             Err(ei_core::Error::Analysis { .. }) => {
-                monte_carlo(iface, func, input, &env, config.mc_samples, 7, &config.eval)?
-                    .mean()
+                // All available cores; monte_carlo_par is sample-identical
+                // to serial monte_carlo for any thread count.
+                monte_carlo_par(
+                    iface,
+                    func,
+                    input,
+                    &env,
+                    config.mc_samples,
+                    7,
+                    0,
+                    &config.eval,
+                )?
+                .mean()
             }
             Err(e) => return Err(e.into()),
         };

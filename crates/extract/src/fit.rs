@@ -23,6 +23,8 @@ pub struct LinearFit {
 ///
 /// `rows` are the design-matrix rows; each must have the same length.
 /// A small ridge term keeps near-collinear designs solvable.
+// Index loops mirror the `a[i][j] = a[j][i]` symmetry of the normal matrix.
+#[allow(clippy::needless_range_loop)]
 pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Result<LinearFit> {
     let n = rows.len();
     if n == 0 || n != y.len() {
@@ -106,6 +108,9 @@ pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Result<LinearFit> {
 }
 
 /// Gaussian elimination with partial pivoting.
+// Row `r` is updated in terms of pivot row `col`; iterators would fight the
+// simultaneous `&a[col]` read and `&mut a[r]` write.
+#[allow(clippy::needless_range_loop)]
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
@@ -148,6 +153,76 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
 /// Predicts `X·β` for one row.
 pub fn predict(row: &[f64], coefficients: &[f64]) -> f64 {
     row.iter().zip(coefficients).map(|(x, c)| x * c).sum()
+}
+
+/// Residual statistics of an *interface* (not the raw linear model) against
+/// measured energies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceFitReport {
+    /// Per-point relative errors `|pred - meas| / meas`.
+    pub rel_errors: Vec<f64>,
+    /// Mean relative error.
+    pub mean_rel_error: f64,
+    /// Maximum relative error.
+    pub max_rel_error: f64,
+}
+
+/// Validates an emitted interface against held-out measurements.
+///
+/// The extraction pipeline fits coefficients with [`least_squares`] and then
+/// *emits an EIL interface*; rounding in emission, clamping of negative
+/// coefficients, and timing terms all make the interface subtly different
+/// from the raw linear model. This evaluates the interface itself on every
+/// argument set — in a single [`evaluate_batch`] call — and reports the
+/// residuals against `measured`.
+pub fn validate_interface(
+    iface: &ei_core::interface::Interface,
+    func: &str,
+    argsets: &[Vec<ei_core::Value>],
+    measured: &[ei_core::Energy],
+    config: &ei_core::interp::EvalConfig,
+) -> Result<InterfaceFitReport> {
+    use ei_core::interp::evaluate_batch;
+
+    if argsets.len() != measured.len() {
+        return Err(Error::Fit {
+            msg: format!(
+                "{} argument sets but {} measurements",
+                argsets.len(),
+                measured.len()
+            ),
+        });
+    }
+    if argsets.is_empty() {
+        return Err(Error::Fit {
+            msg: "validation set is empty".into(),
+        });
+    }
+    let env = ei_core::ecv::EcvEnv::from_decls(&iface.ecvs);
+    let predictions = evaluate_batch(iface, func, argsets, &env, 0, config)?;
+    let rel_errors: Vec<f64> = predictions
+        .iter()
+        .zip(measured)
+        .map(|(p, m)| {
+            let m = m.as_joules();
+            if m == 0.0 {
+                if p.as_joules() == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (p.as_joules() - m).abs() / m
+            }
+        })
+        .collect();
+    let mean_rel_error = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
+    let max_rel_error = rel_errors.iter().cloned().fold(0.0, f64::max);
+    Ok(InterfaceFitReport {
+        rel_errors,
+        mean_rel_error,
+        max_rel_error,
+    })
 }
 
 #[cfg(test)]

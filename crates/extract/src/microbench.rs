@@ -45,13 +45,19 @@ impl GpuEnergyModel {
     /// configuration (used by tests; a real campaign has no reference).
     pub fn max_relative_error(&self, truth: &GpuConfig) -> f64 {
         [
-            (self.e_instruction.as_joules(), truth.e_instruction.as_joules()),
+            (
+                self.e_instruction.as_joules(),
+                truth.e_instruction.as_joules(),
+            ),
             (
                 self.e_l1_wavefront.as_joules(),
                 truth.e_l1_wavefront.as_joules(),
             ),
             (self.e_l2_sector.as_joules(), truth.e_l2_sector.as_joules()),
-            (self.e_vram_sector.as_joules(), truth.e_vram_sector.as_joules()),
+            (
+                self.e_vram_sector.as_joules(),
+                truth.e_vram_sector.as_joules(),
+            ),
             (self.static_power.as_watts(), truth.static_power.as_watts()),
         ]
         .iter()
@@ -127,34 +133,32 @@ pub fn fit_gpu_model(
     // NVML campaign has to engineer around): repeat the unit of work until
     // enough device time has passed.
     let min_span = min_span_cfg;
-    let mut observe =
-        |sim: &mut GpuSim, name: &str, run: &mut dyn FnMut(&mut GpuSim)| {
-            let c0 = sim.counters();
-            let e0 = meter.read(sim.energy(), c0.elapsed);
-            loop {
-                run(sim);
-                let span =
-                    sim.counters().elapsed.as_seconds() - c0.elapsed.as_seconds();
-                if span >= min_span || span >= 1.0 {
-                    break;
-                }
+    let mut observe = |sim: &mut GpuSim, name: &str, run: &mut dyn FnMut(&mut GpuSim)| {
+        let c0 = sim.counters();
+        let e0 = meter.read(sim.energy(), c0.elapsed);
+        loop {
+            run(sim);
+            let span = sim.counters().elapsed.as_seconds() - c0.elapsed.as_seconds();
+            if span >= min_span || span >= 1.0 {
+                break;
             }
-            let c1 = sim.counters();
-            let e1 = meter.read(sim.energy(), c1.elapsed);
-            observations.push(Observation {
-                name: name.to_string(),
-                row: vec![
-                    c1.instructions - c0.instructions,
-                    c1.l1_wavefronts - c0.l1_wavefronts,
-                    (c1.l2_sectors_read + c1.l2_sectors_written) as f64
-                        - (c0.l2_sectors_read + c0.l2_sectors_written) as f64,
-                    (c1.vram_sectors_read + c1.vram_sectors_written) as f64
-                        - (c0.vram_sectors_read + c0.vram_sectors_written) as f64,
-                    c1.elapsed.as_seconds() - c0.elapsed.as_seconds(),
-                ],
-                energy: e1 - e0,
-            });
-        };
+        }
+        let c1 = sim.counters();
+        let e1 = meter.read(sim.energy(), c1.elapsed);
+        observations.push(Observation {
+            name: name.to_string(),
+            row: vec![
+                c1.instructions - c0.instructions,
+                c1.l1_wavefronts - c0.l1_wavefronts,
+                (c1.l2_sectors_read + c1.l2_sectors_written) as f64
+                    - (c0.l2_sectors_read + c0.l2_sectors_written) as f64,
+                (c1.vram_sectors_read + c1.vram_sectors_written) as f64
+                    - (c0.vram_sectors_read + c0.vram_sectors_written) as f64,
+                c1.elapsed.as_seconds() - c0.elapsed.as_seconds(),
+            ],
+            energy: e1 - e0,
+        });
+    };
 
     // 1. Idle periods of several lengths → static power.
     for ms in [50.0, 100.0, 200.0] {
@@ -174,15 +178,13 @@ pub fn fit_gpu_model(
     for gflops in [5.0, 10.0, 20.0, 40.0] {
         observe(&mut sim, "compute", &mut |s| {
             for _ in 0..8 {
-                s.launch(
-                    &KernelDesc::new("fma_loop", gflops * 1e9, 1e4).access(
-                        small,
-                        0,
-                        4096,
-                        AccessKind::Read,
-                        ReuseHint::Temporal,
-                    ),
-                );
+                s.launch(&KernelDesc::new("fma_loop", gflops * 1e9, 1e4).access(
+                    small,
+                    0,
+                    4096,
+                    AccessKind::Read,
+                    ReuseHint::Temporal,
+                ));
             }
         });
     }
@@ -201,13 +203,15 @@ pub fn fit_gpu_model(
     ));
     for reuse in [16.0, 48.0, 96.0] {
         observe(&mut sim, "l1_reuse", &mut |s| {
-            s.launch(&KernelDesc::new("tile_reuse", 1e6, reuse * 1048576.0).access(
-                hot,
-                0,
-                1 << 20,
-                AccessKind::Read,
-                ReuseHint::Temporal,
-            ));
+            s.launch(
+                &KernelDesc::new("tile_reuse", 1e6, reuse * 1048576.0).access(
+                    hot,
+                    0,
+                    1 << 20,
+                    AccessKind::Read,
+                    ReuseHint::Temporal,
+                ),
+            );
         });
     }
 
@@ -311,8 +315,8 @@ mod tests {
 
     #[test]
     fn fitted_interface_parses_and_predicts_kernels() {
-        use ei_core::ecv::EcvEnv;
-        use ei_core::interp::{evaluate_energy, EvalConfig};
+        use crate::fit::validate_interface;
+        use ei_core::interp::EvalConfig;
         use ei_core::value::Value;
 
         let cfg = rtx4090();
@@ -332,22 +336,24 @@ mod tests {
         );
         let truth = sim.launch(&k).energy;
         let c = sim.counters();
-        let pred = evaluate_energy(
+        let report = validate_interface(
             &iface,
             "gpu_kernel",
-            &[
+            &[vec![
                 Value::Num(4e9),
                 Value::Num(128.0 * 1024.0 * 1024.0),
                 Value::Num((c.l2_sectors_read + c.l2_sectors_written) as f64),
                 Value::Num((c.vram_sectors_read + c.vram_sectors_written) as f64),
-            ],
-            &EcvEnv::new(),
-            0,
+            ]],
+            &[truth],
             &EvalConfig::default(),
         )
         .unwrap();
-        let rel = (pred.as_joules() - truth.as_joules()).abs() / truth.as_joules();
-        assert!(rel < 0.05, "fitted prediction off by {rel}");
+        assert!(
+            report.max_rel_error < 0.05,
+            "fitted prediction off by {}",
+            report.max_rel_error
+        );
     }
 
     #[test]

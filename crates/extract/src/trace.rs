@@ -86,10 +86,7 @@ pub struct DeriveReport {
 impl DeriveReport {
     /// The minimum R² across all fitted quantities.
     pub fn worst_r_squared(&self) -> f64 {
-        self.fits
-            .iter()
-            .map(|f| f.r_squared)
-            .fold(1.0, f64::min)
+        self.fits.iter().map(|f| f.r_squared).fold(1.0, f64::min)
     }
 }
 
@@ -185,9 +182,7 @@ pub fn derive_interface(
             let means: Vec<f64> = per_input
                 .iter()
                 .map(|agg| match agg.get(res) {
-                    Some((c, sums)) if *c > 0 => {
-                        sums.get(a).copied().unwrap_or(0.0) / *c as f64
-                    }
+                    Some((c, sums)) if *c > 0 => sums.get(a).copied().unwrap_or(0.0) / *c as f64,
                     _ => 0.0,
                 })
                 .collect();
@@ -196,10 +191,7 @@ pub fn derive_interface(
                 target: format!("arg{a}({res})"),
                 r_squared: arg_fit.r_squared,
             });
-            body.push_str(&format!(
-                "let {res}_a{a} = {};\n",
-                affine_src(&arg_fit)
-            ));
+            body.push_str(&format!("let {res}_a{a} = {};\n", affine_src(&arg_fit)));
             arg_names.push(format!("{res}_a{a}"));
         }
         body.push_str(&format!(
@@ -212,10 +204,7 @@ pub fn derive_interface(
     let mut src = format!("interface derived_{name} \"derived from traces\" {{\n");
     for (res, arity) in &resources {
         let params: Vec<String> = (0..*arity).map(|i| format!("a{i}")).collect();
-        src.push_str(&format!(
-            "extern fn {res}({});\n",
-            params.join(", ")
-        ));
+        src.push_str(&format!("extern fn {res}({});\n", params.join(", ")));
     }
     src.push_str(&format!(
         "fn e_run({}) {{\n{}\n}}\n}}\n",
@@ -263,10 +252,10 @@ mod tests {
 
         // Link against simple resource interfaces and check the prediction
         // against a direct computation.
-        let cache = parse("interface cache { fn cache_get(bytes) { return 2 uJ * bytes; } }")
-            .unwrap();
-        let store = parse("interface store { fn store_put(bytes) { return 5 uJ * bytes; } }")
-            .unwrap();
+        let cache =
+            parse("interface cache { fn cache_get(bytes) { return 2 uJ * bytes; } }").unwrap();
+        let store =
+            parse("interface store { fn store_put(bytes) { return 5 uJ * bytes; } }").unwrap();
         let linked = link(iface, &[&cache, &store]).unwrap();
         let e = evaluate_energy(
             &linked,

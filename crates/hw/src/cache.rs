@@ -161,12 +161,8 @@ impl SegmentCache {
 
     /// Invalidates residency but keeps statistics (e.g. context switch).
     pub fn flush(&mut self) -> u64 {
-        let dirty: u64 = self
-            .resident
-            .values()
-            .filter(|e| e.dirty)
-            .count() as u64
-            * self.sectors_per_segment();
+        let dirty: u64 =
+            self.resident.values().filter(|e| e.dirty).count() as u64 * self.sectors_per_segment();
         self.writebacks += dirty;
         self.resident.clear();
         dirty
@@ -308,7 +304,13 @@ mod tests {
         c.access(hot, 0, 2048, AccessKind::Read, ReuseHint::Temporal);
         // Stream 100 KB through the cache.
         for s in 0..100u64 {
-            c.access(stream, s * 1024, 1024, AccessKind::Read, ReuseHint::Streaming);
+            c.access(
+                stream,
+                s * 1024,
+                1024,
+                AccessKind::Read,
+                ReuseHint::Streaming,
+            );
         }
         // Hot data survives.
         let r = c.access(hot, 0, 2048, AccessKind::Read, ReuseHint::Temporal);

@@ -217,12 +217,7 @@ impl CpuSystem {
 
     /// The completion time of the latest-finishing core.
     pub fn makespan(&self) -> TimeSpan {
-        TimeSpan::seconds(
-            self.cores
-                .iter()
-                .map(|c| c.busy_until)
-                .fold(0.0, f64::max),
-        )
+        TimeSpan::seconds(self.cores.iter().map(|c| c.busy_until).fold(0.0, f64::max))
     }
 }
 
@@ -257,13 +252,9 @@ mod tests {
     fn opp_for_deadline_picks_slowest_feasible() {
         let (big, _) = big_little();
         let work = 2400.0; // 1 s at max, 2 s at 1200 MHz (capacity 2).
-        let opp = big
-            .opp_for_deadline(work, TimeSpan::seconds(1.2))
-            .unwrap();
+        let opp = big.opp_for_deadline(work, TimeSpan::seconds(1.2)).unwrap();
         assert_eq!(opp.freq_mhz, 1200.0);
-        assert!(big
-            .opp_for_deadline(work, TimeSpan::seconds(0.2))
-            .is_none());
+        assert!(big.opp_for_deadline(work, TimeSpan::seconds(0.2)).is_none());
     }
 
     #[test]

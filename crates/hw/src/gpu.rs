@@ -327,8 +327,7 @@ impl GpuSim {
         let l1_wavefronts = kernel.logical_bytes / WAVEFRONT_BYTES as f64;
         // Instruction estimate: one FMA covers 2 FLOPs, plus address/control
         // overhead proportional to logical traffic.
-        let instructions =
-            kernel.flops / 2.0 + kernel.logical_bytes / WAVEFRONT_BYTES as f64;
+        let instructions = kernel.flops / 2.0 + kernel.logical_bytes / WAVEFRONT_BYTES as f64;
 
         // Sustained-load clock droop: throughput (compute and memory)
         // degrades as the part heats up, saturating after the warm-up time.
@@ -439,8 +438,13 @@ mod tests {
         let run = |cfg: GpuConfig| {
             let mut g = GpuSim::new(cfg);
             let buf = g.alloc(ws).unwrap();
-            let k = KernelDesc::new("scan", 1e3, ws as f64)
-                .access(buf, 0, ws, AccessKind::Read, ReuseHint::Temporal);
+            let k = KernelDesc::new("scan", 1e3, ws as f64).access(
+                buf,
+                0,
+                ws,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            );
             g.launch(&k);
             let warm = g.launch(&k);
             warm.vram_sectors

@@ -165,8 +165,7 @@ mod tests {
                 &EvalConfig::default(),
             )
             .unwrap();
-            let rel = (e.as_joules() - report.energy.as_joules()).abs()
-                / report.energy.as_joules();
+            let rel = (e.as_joules() - report.energy.as_joules()).abs() / report.energy.as_joules();
             assert!(rel < 1e-9, "{}: rel={rel}", cfg.name);
         }
     }

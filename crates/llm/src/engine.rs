@@ -105,8 +105,20 @@ impl Gpt2Engine {
         let logical = w_bytes as f64 + flops * LOGICAL_BYTES_PER_FLOP;
         let act_bytes = tokens * c.d_model * c.dtype_bytes;
         let k = KernelDesc::new(name, flops, logical)
-            .access(weight, w_off, w_bytes, AccessKind::Read, ReuseHint::Streaming)
-            .access(self.act, 0, act_bytes, AccessKind::Read, ReuseHint::Temporal)
+            .access(
+                weight,
+                w_off,
+                w_bytes,
+                AccessKind::Read,
+                ReuseHint::Streaming,
+            )
+            .access(
+                self.act,
+                0,
+                act_bytes,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            )
             .access(
                 self.act,
                 act_bytes,
@@ -149,7 +161,13 @@ impl Gpt2Engine {
         let bytes = tokens * c.d_model * c.dtype_bytes;
         let k = KernelDesc::new("embed", 2.0 * bytes as f64, 2.0 * bytes as f64)
             .access(self.wte, 0, bytes, AccessKind::Read, ReuseHint::Temporal)
-            .access(self.act, 0, bytes.min(4 << 20), AccessKind::Write, ReuseHint::Temporal);
+            .access(
+                self.act,
+                0,
+                bytes.min(4 << 20),
+                AccessKind::Write,
+                ReuseHint::Temporal,
+            );
         self.gpu.launch(&k);
     }
 
@@ -177,10 +195,24 @@ impl Gpt2Engine {
         let w = self.layer_weights[layer];
         let d_out = |cols: u64| new_tokens * cols * c.dtype_bytes;
         let mut off = 0;
-        self.matmul("qkv", new_tokens, w, off, c.w_attn_bytes(), d_out(3 * c.d_model));
+        self.matmul(
+            "qkv",
+            new_tokens,
+            w,
+            off,
+            c.w_attn_bytes(),
+            d_out(3 * c.d_model),
+        );
         off += c.w_attn_bytes();
         self.attention(layer, new_tokens, ctx_end);
-        self.matmul("proj", new_tokens, w, off, c.w_proj_bytes(), d_out(c.d_model));
+        self.matmul(
+            "proj",
+            new_tokens,
+            w,
+            off,
+            c.w_proj_bytes(),
+            d_out(c.d_model),
+        );
         off += c.w_proj_bytes();
         self.matmul("fc1", new_tokens, w, off, c.w_fc_bytes(), d_out(c.d_ff));
         off += c.w_fc_bytes();
@@ -232,9 +264,7 @@ impl Gpt2Engine {
                 l2_sectors_written: c1.l2_sectors_written - c0.l2_sectors_written,
                 vram_sectors_read: c1.vram_sectors_read - c0.vram_sectors_read,
                 vram_sectors_written: c1.vram_sectors_written - c0.vram_sectors_written,
-                elapsed: TimeSpan::seconds(
-                    c1.elapsed.as_seconds() - c0.elapsed.as_seconds(),
-                ),
+                elapsed: TimeSpan::seconds(c1.elapsed.as_seconds() - c0.elapsed.as_seconds()),
                 launches: c1.launches - c0.launches,
             },
             energy_per_token,
@@ -267,7 +297,10 @@ mod tests {
             assert!(w[1] > w[0]);
         }
         assert!(r.energy.as_joules() > 0.0);
-        assert_eq!(r.energy_per_token.last().unwrap().as_joules(), r.energy.as_joules());
+        assert_eq!(
+            r.energy_per_token.last().unwrap().as_joules(),
+            r.energy.as_joules()
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! hold on a 72 MB-L2 part and break progressively on a 4 MB-L2 one, which
 //! is exactly the 4090-vs-3070 error asymmetry of Table 1.
 
-use ei_core::interface::{Interface, InputSpec};
+use ei_core::interface::{InputSpec, Interface};
 use ei_core::parser::parse;
 
 use crate::engine::LOGICAL_BYTES_PER_FLOP;
@@ -153,8 +153,10 @@ mod tests {
     /// hardware interface.
     fn predict(gpu: &GpuConfig, prompt: u64, gen: u64) -> f64 {
         let iface = link(&gpt2_interface(&gpt2_small()), &[&gpu_interface(gpu)]).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.fuel = 200_000_000;
+        let cfg = EvalConfig {
+            fuel: 200_000_000,
+            ..EvalConfig::default()
+        };
         evaluate_energy(
             &iface,
             "e_generate",
@@ -217,8 +219,10 @@ mod tests {
     fn per_phase_functions_compose_to_generate() {
         let gpu = rtx4090();
         let iface = link(&gpt2_interface(&gpt2_small()), &[&gpu_interface(&gpu)]).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.fuel = 200_000_000;
+        let cfg = EvalConfig {
+            fuel: 200_000_000,
+            ..EvalConfig::default()
+        };
         let env = EcvEnv::new();
         let full = evaluate_energy(
             &iface,
@@ -230,16 +234,9 @@ mod tests {
         )
         .unwrap()
         .as_joules();
-        let prefill = evaluate_energy(
-            &iface,
-            "e_prefill",
-            &[Value::Num(16.0)],
-            &env,
-            0,
-            &cfg,
-        )
-        .unwrap()
-        .as_joules();
+        let prefill = evaluate_energy(&iface, "e_prefill", &[Value::Num(16.0)], &env, 0, &cfg)
+            .unwrap()
+            .as_joules();
         let mut steps = 0.0;
         for t in 1..4u64 {
             steps += evaluate_energy(

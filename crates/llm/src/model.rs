@@ -104,7 +104,8 @@ impl Gpt2Config {
     /// Total parameter count (approximate; matches the 124M/355M naming).
     pub fn param_count(&self) -> u64 {
         let per_layer = self.layer_weight_bytes() / self.dtype_bytes;
-        self.n_layer as u64 * per_layer + self.wte_bytes() / self.dtype_bytes
+        self.n_layer as u64 * per_layer
+            + self.wte_bytes() / self.dtype_bytes
             + self.wpe_bytes() / self.dtype_bytes
     }
 

@@ -29,8 +29,10 @@ proptest! {
     fn interface_prediction_monotone(prompt in 4u64..64, gen in 2u64..30) {
         let linked =
             link(&gpt2_interface(&gpt2_small()), &[&gpu_interface(&rtx4090())]).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.fuel = 200_000_000;
+        let cfg = EvalConfig {
+            fuel: 200_000_000,
+            ..EvalConfig::default()
+        };
         let eval = |p: u64, g: u64| {
             evaluate_energy(
                 &linked,
@@ -67,10 +69,11 @@ fn interface_scales_to_medium_model() {
     // The interface generator is parametric in the architecture; the
     // medium model's interface must track its own ground truth too.
     let gpu = rtx4090();
-    let linked =
-        link(&gpt2_interface(&gpt2_medium()), &[&gpu_interface(&gpu)]).unwrap();
-    let mut cfg = EvalConfig::default();
-    cfg.fuel = 400_000_000;
+    let linked = link(&gpt2_interface(&gpt2_medium()), &[&gpu_interface(&gpu)]).unwrap();
+    let cfg = EvalConfig {
+        fuel: 400_000_000,
+        ..EvalConfig::default()
+    };
     let predicted = evaluate_energy(
         &linked,
         "e_generate",
@@ -142,8 +145,10 @@ fn worst_case_bound_on_generate_is_sound() {
     assert!(bound.lower.as_joules() > 0.0);
     assert!(bound.upper > bound.lower);
 
-    let mut cfg = EvalConfig::default();
-    cfg.fuel = 400_000_000;
+    let cfg = EvalConfig {
+        fuel: 400_000_000,
+        ..EvalConfig::default()
+    };
     for (p, g) in [(8u64, 5u64), (64, 60), (32, 30), (8, 60), (64, 5)] {
         let e = evaluate_energy(
             &linked,

@@ -12,9 +12,10 @@
 //! candidate node's interface on the app's features and picks the cheapest
 //! feasible node.
 
+use ei_core::cache::EvalCache;
 use ei_core::ecv::EcvEnv;
-use ei_core::interp::{evaluate_energy, EvalConfig};
 use ei_core::interface::Interface;
+use ei_core::interp::EvalConfig;
 use ei_core::parser::parse;
 use ei_core::units::Energy;
 use ei_core::value::Value;
@@ -155,6 +156,11 @@ pub struct PlacementReport {
 }
 
 /// Places `apps` on `cluster` under `policy` and totals the energy.
+///
+/// Energy-interface placement evaluates every viable `(app, node type)`
+/// pair through an [`EvalCache`]: real pod sets contain few distinct app
+/// shapes, so after the first pod of each shape the per-node ranking is
+/// answered from the cache instead of re-running the interpreter.
 pub fn place(cluster: &Cluster, apps: &[AppSpec], policy: Policy) -> PlacementReport {
     let mut free: Vec<f64> = cluster.nodes.iter().map(|(_, s)| *s).collect();
     let mut energy = Energy::ZERO;
@@ -162,33 +168,36 @@ pub fn place(cluster: &Cluster, apps: &[AppSpec], policy: Policy) -> PlacementRe
     let mut unplaced = 0;
     let cfg = EvalConfig::default();
     let env = EcvEnv::new();
+    let cache = EvalCache::new();
 
     // Pre-built interfaces per node.
     let ifaces: Vec<Interface> = cluster.nodes.iter().map(|(t, _)| t.interface()).collect();
 
     for app in apps {
         let candidate = match policy {
-            Policy::CpuRequestsOnly => (0..cluster.nodes.len())
-                .find(|&i| free[i] >= app.cpu_request),
+            Policy::CpuRequestsOnly => {
+                (0..cluster.nodes.len()).find(|&i| free[i] >= app.cpu_request)
+            }
             Policy::EnergyInterface => {
                 let mut best: Option<(usize, Energy)> = None;
                 for i in 0..cluster.nodes.len() {
                     if free[i] < app.cpu_request {
                         continue;
                     }
-                    let e = evaluate_energy(
-                        &ifaces[i],
-                        "e_app",
-                        &[
-                            Value::Num(app.cpu_work),
-                            Value::Num(app.mem_accesses),
-                            Value::Num(app.working_set),
-                        ],
-                        &env,
-                        0,
-                        &cfg,
-                    )
-                    .expect("node interface evaluates");
+                    let e = cache
+                        .evaluate_energy_cached(
+                            &ifaces[i],
+                            "e_app",
+                            &[
+                                Value::Num(app.cpu_work),
+                                Value::Num(app.mem_accesses),
+                                Value::Num(app.working_set),
+                            ],
+                            &env,
+                            0,
+                            &cfg,
+                        )
+                        .expect("node interface evaluates");
                     if best.as_ref().is_none_or(|(_, be)| e < *be) {
                         best = Some((i, e));
                     }
@@ -237,6 +246,7 @@ pub fn mixed_pods(n: usize) -> Vec<AppSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ei_core::interp::evaluate_energy;
 
     #[test]
     fn node_interface_matches_ground_truth() {

@@ -280,8 +280,8 @@ mod tests {
         // On a constant demand the proxy converges immediately (EWMA is
         // seeded with the first demand): identical decisions.
         assert_eq!(base.missed_quanta, iface.missed_quanta);
-        let rel = (base.energy.as_joules() - iface.energy.as_joules()).abs()
-            / iface.energy.as_joules();
+        let rel =
+            (base.energy.as_joules() - iface.energy.as_joules()).abs() / iface.energy.as_joules();
         assert!(rel < 0.01, "steady-state gap {rel}");
     }
 
@@ -353,7 +353,10 @@ mod tests {
     #[test]
     fn task_generators() {
         let t = TaskSpec::bimodal("x", 5.0, 1.0, 2, 3, 10);
-        assert_eq!(t.demand, vec![5.0, 5.0, 1.0, 1.0, 1.0, 5.0, 5.0, 1.0, 1.0, 1.0]);
+        assert_eq!(
+            t.demand,
+            vec![5.0, 5.0, 1.0, 1.0, 1.0, 5.0, 5.0, 1.0, 1.0, 1.0]
+        );
         let s = TaskSpec::steady("y", 2.0, 3);
         assert_eq!(s.demand, vec![2.0, 2.0, 2.0]);
     }

@@ -16,8 +16,8 @@
 //! against.
 
 use ei_core::ecv::EcvEnv;
-use ei_core::interp::{evaluate_energy, EvalConfig};
 use ei_core::interface::Interface;
+use ei_core::interp::{evaluate_batch, EvalConfig};
 use ei_core::parser::parse;
 use ei_core::units::{Energy, Power};
 
@@ -60,8 +60,7 @@ impl FuzzCampaign {
 
     /// Closed-form coverage after `hours` on `machines`.
     pub fn coverage(&self, machines: f64, hours: f64) -> f64 {
-        self.max_coverage
-            * (1.0 - (-self.rate * self.effective_machines(machines) * hours).exp())
+        self.max_coverage * (1.0 - (-self.rate * self.effective_machines(machines) * hours).exp())
     }
 
     /// Hours to reach `target` coverage on `machines`; `None` if
@@ -127,39 +126,47 @@ pub struct PlanAnswer {
 }
 
 /// Runs the planner over `1..=max_machines`, answering both questions.
+///
+/// The whole sweep is one [`evaluate_batch`] call: the per-call setup
+/// (assignment sampling, calibration interning) is paid once for all
+/// `max_machines` candidate counts instead of per candidate.
 pub fn plan(campaign: &FuzzCampaign, target: f64, max_machines: u32) -> PlanAnswer {
     let iface = campaign.interface();
     let cfg = EvalConfig::default();
     let env = EcvEnv::new();
-    let energy_to = |machines: u32, tgt: f64| -> Energy {
-        evaluate_energy(
-            &iface,
-            "e_to_coverage",
-            &[Value::Num(machines as f64), Value::Num(tgt)],
-            &env,
-            0,
-            &cfg,
-        )
-        .expect("interface evaluates")
-    };
+
+    let argsets: Vec<Vec<Value>> = (1..=max_machines)
+        .map(|m| vec![Value::Num(m as f64), Value::Num(target)])
+        .collect();
+    let energies = evaluate_batch(&iface, "e_to_coverage", &argsets, &env, 0, &cfg)
+        .expect("interface evaluates");
 
     let mut sweep = Vec::new();
     let mut best: Option<(u32, Energy)> = None;
-    for m in 1..=max_machines {
-        let e = energy_to(m, target);
+    for (m, e) in (1..=max_machines).zip(energies) {
         sweep.push((m, e));
         if best.as_ref().is_none_or(|(_, be)| e < *be) {
             best = Some((m, e));
         }
     }
     let (best_machines, best_energy) = best.expect("at least one machine count");
-    let marginal_90_to_95 =
-        energy_to(best_machines, 0.95) - energy_to(best_machines, 0.90);
+    let marginal = evaluate_batch(
+        &iface,
+        "e_to_coverage",
+        &[
+            vec![Value::Num(best_machines as f64), Value::Num(0.95)],
+            vec![Value::Num(best_machines as f64), Value::Num(0.90)],
+        ],
+        &env,
+        0,
+        &cfg,
+    )
+    .expect("interface evaluates");
     PlanAnswer {
         best_machines,
         best_energy,
         sweep,
-        marginal_90_to_95,
+        marginal_90_to_95: marginal[0] - marginal[1],
     }
 }
 
@@ -191,8 +198,8 @@ pub fn simulate_campaign(
         energy += Energy::joules(
             campaign.machine_power.as_watts() * machines as f64 * step_hours * 3600.0,
         );
-        energy += campaign.e_per_mexec
-            * (machines as f64 * step_hours * campaign.execs_per_hour / 1e6);
+        energy +=
+            campaign.e_per_mexec * (machines as f64 * step_hours * campaign.execs_per_hour / 1e6);
     }
     Some((hours, energy))
 }
@@ -200,6 +207,7 @@ pub fn simulate_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ei_core::interp::evaluate_energy;
 
     #[test]
     fn coverage_model_saturates() {
@@ -291,8 +299,7 @@ mod tests {
         )
         .unwrap();
         let (_, sim_energy) = simulate_campaign(&c, 8, 0.9, 0.01).unwrap();
-        let rel = (pred.as_joules() - sim_energy.as_joules()).abs()
-            / sim_energy.as_joules();
+        let rel = (pred.as_joules() - sim_energy.as_joules()).abs() / sim_energy.as_joules();
         assert!(rel < 0.02, "interface vs simulation: {rel}");
     }
 

@@ -11,8 +11,8 @@
 //! timelines instead of nameplate ratings.
 
 use ei_core::ecv::EcvEnv;
-use ei_core::interp::{evaluate_energy, EvalConfig};
 use ei_core::interface::Interface;
+use ei_core::interp::{evaluate_energy, EvalConfig};
 use ei_core::parser::parse;
 use ei_core::units::Power;
 

@@ -77,11 +77,7 @@ impl LruTier {
         self.stamp += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             // Deterministic LRU eviction: min (stamp, key).
-            if let Some((&victim, _)) = self
-                .entries
-                .iter()
-                .min_by_key(|(k, s)| (**s, **k))
-            {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(k, s)| (**s, **k)) {
                 self.entries.remove(&victim);
             }
         }
@@ -128,12 +124,7 @@ impl RequestCache {
     /// Looks up `key`, serving `response_len` bytes on a hit. Advances the
     /// service clock to `now` (drives NIC sleep/wake). Returns the outcome
     /// and the energy consumed by the lookup.
-    pub fn lookup(
-        &mut self,
-        key: u64,
-        response_len: u64,
-        now: TimeSpan,
-    ) -> (CacheOutcome, Energy) {
+    pub fn lookup(&mut self, key: u64, response_len: u64, now: TimeSpan) -> (CacheOutcome, Energy) {
         self.now = now;
         let mut e = self.energy_model.local_lookup;
         let outcome = if self.local.contains_touch(key) {

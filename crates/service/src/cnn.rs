@@ -9,9 +9,9 @@
 //! story.
 
 use ei_core::units::{Calibration, Energy};
-use serde::{Deserialize, Serialize};
 use ei_hw::cache::{AccessKind, BufferId, ReuseHint};
 use ei_hw::gpu::{GpuSim, KernelDesc};
+use serde::{Deserialize, Serialize};
 
 /// CNN architecture constants (mirrors Fig. 1).
 pub const N_CONV: u32 = 8;
@@ -41,7 +41,7 @@ pub struct CnnModel {
 impl CnnModel {
     /// Loads the model onto the device.
     pub fn new(mut gpu: GpuSim) -> Option<Self> {
-        let conv_weights = gpu.alloc(N_CONV as u64 * 1 << 20)?;
+        let conv_weights = gpu.alloc((N_CONV as u64) << 20)?;
         let mlp_weights = gpu.alloc(N_MLP as u64 * 256 * 256 * 2)?;
         let act = gpu.alloc(8 << 20)?;
         Some(CnnModel {
@@ -160,15 +160,25 @@ impl CnnModel {
 
         let e0 = self.gpu.energy();
         self.gpu.launch(
-            &KernelDesc::new("mlp", MLP_FLOPS, (256u64 * 256 * 2) as f64 + MLP_FLOPS * 0.125)
-                .access(
-                    self.mlp_weights,
-                    0,
-                    256 * 256 * 2,
-                    AccessKind::Read,
-                    ReuseHint::Streaming,
-                )
-                .access(self.act, 0, N_EMBEDDING * 2, AccessKind::Read, ReuseHint::Temporal),
+            &KernelDesc::new(
+                "mlp",
+                MLP_FLOPS,
+                (256u64 * 256 * 2) as f64 + MLP_FLOPS * 0.125,
+            )
+            .access(
+                self.mlp_weights,
+                0,
+                256 * 256 * 2,
+                AccessKind::Read,
+                ReuseHint::Streaming,
+            )
+            .access(
+                self.act,
+                0,
+                N_EMBEDDING * 2,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            ),
         );
         let mlp = self.gpu.energy() - e0;
 

@@ -14,6 +14,5 @@ pub mod service;
 pub use cache::{CacheEnergy, CacheOutcome, RequestCache};
 pub use cnn::{CnnCalibration, CnnModel};
 pub use service::{
-    fig1_calibration, fig1_interface, request_stream, MlWebService, Request,
-    MAX_RESPONSE_LEN,
+    fig1_calibration, fig1_interface, request_stream, MlWebService, Request, MAX_RESPONSE_LEN,
 };

@@ -8,7 +8,7 @@
 //! the true hit rates, pins them into the ECVs, and compares prediction
 //! against measurement.
 
-use ei_core::interface::{Interface, InputSpec};
+use ei_core::interface::{InputSpec, Interface};
 use ei_core::parser::parse;
 use ei_core::units::{Calibration, Energy, TimeSpan};
 use ei_hw::gpu::GpuSim;
@@ -45,7 +45,12 @@ pub struct MlWebService {
 
 impl MlWebService {
     /// Brings the service up on the given accelerator and NIC.
-    pub fn new(gpu: GpuSim, nic: NicSim, local_entries: usize, remote_entries: usize) -> Option<Self> {
+    pub fn new(
+        gpu: GpuSim,
+        nic: NicSim,
+        local_entries: usize,
+        remote_entries: usize,
+    ) -> Option<Self> {
         Some(MlWebService {
             cache: RequestCache::new(local_entries, remote_entries, CacheEnergy::default(), nic),
             cnn: CnnModel::new(gpu)?,
@@ -89,10 +94,7 @@ impl MlWebService {
         if self.log.is_empty() {
             return Energy::ZERO;
         }
-        Energy(
-            self.log.iter().map(|(_, e)| e.as_joules()).sum::<f64>()
-                / self.log.len() as f64,
-        )
+        Energy(self.log.iter().map(|(_, e)| e.as_joules()).sum::<f64>() / self.log.len() as f64)
     }
 
     /// The request log.
@@ -261,8 +263,10 @@ mod tests {
             nic_cfg.e_byte,
             nic_cfg.e_packet,
         );
-        let mut cfg = EvalConfig::default();
-        cfg.calibration = fig1_calibration(&cal);
+        let cfg = EvalConfig {
+            calibration: fig1_calibration(&cal),
+            ..EvalConfig::default()
+        };
 
         let req = Value::num_record([
             ("image_id", 1.0),
@@ -280,8 +284,7 @@ mod tests {
         .unwrap();
         let predicted = dist.mean();
         let measured = svc.mean_request_energy();
-        let rel = (predicted.as_joules() - measured.as_joules()).abs()
-            / measured.as_joules();
+        let rel = (predicted.as_joules() - measured.as_joules()).abs() / measured.as_joules();
         assert!(
             rel < 0.10,
             "Fig. 1 interface off by {rel}: predicted {predicted}, measured {measured}"
@@ -306,8 +309,6 @@ mod tests {
                 nic_cfg.e_packet,
             )
         };
-        let mut cfg = EvalConfig::default();
-        cfg.calibration = fig1_calibration(&cal);
         let req = Value::num_record([
             ("image_id", 1.0),
             ("image_size", 16384.0),
@@ -318,7 +319,7 @@ mod tests {
             enumerate_exact(
                 &iface,
                 "handle",
-                &[req.clone()],
+                std::slice::from_ref(&req),
                 &EcvEnv::from_decls(&iface.ecvs),
                 64,
                 &EvalConfig {

@@ -6,9 +6,7 @@
 //! cargo run --example energy_aware_scheduling
 //! ```
 
-use energy_clarity::sched::eas::{
-    marginal_energy, run_schedule, Predictor, SchedConfig, TaskSpec,
-};
+use energy_clarity::sched::eas::{marginal_energy, run_schedule, Predictor, SchedConfig, TaskSpec};
 
 fn main() {
     let cfg = SchedConfig::default();
@@ -41,7 +39,9 @@ fn main() {
     );
 
     // §2's marginal-energy observation, as a table.
-    println!("marginal energy: add extra work to a core busy with 10 units, or wake a second core?");
+    println!(
+        "marginal energy: add extra work to a core busy with 10 units, or wake a second core?"
+    );
     println!("{:>10}  {:>14}  {:>12}", "extra", "consolidate", "spread");
     for extra in [1.0, 4.0, 8.0, 14.0, 20.0] {
         let (c, s) = marginal_energy(10.0, extra, &cfg);

@@ -28,13 +28,15 @@ fn main() {
         );
 
         // 2. Compose: GPT-2's interface over the fitted hardware interface.
-        let linked = link(&gpt2_interface(&gpt2_small()), &[&model.to_interface(&gpu)])
-            .expect("links");
+        let linked =
+            link(&gpt2_interface(&gpt2_small()), &[&model.to_interface(&gpu)]).expect("links");
 
         // 3. Predict a generation run...
         let (prompt, gen) = (32u64, 100u64);
-        let mut cfg = EvalConfig::default();
-        cfg.fuel = 400_000_000;
+        let cfg = EvalConfig {
+            fuel: 400_000_000,
+            ..EvalConfig::default()
+        };
         let predicted = evaluate_energy(
             &linked,
             "e_generate",

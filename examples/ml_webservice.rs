@@ -63,9 +63,15 @@ fn main() {
         ("image_size", 16384.0),
         ("image_zeros", 4096.0),
     ]);
-    let dist =
-        enumerate_exact(&iface, "handle", &[req], &EcvEnv::from_decls(&iface.ecvs), 16, &cfg)
-            .unwrap();
+    let dist = enumerate_exact(
+        &iface,
+        "handle",
+        &[req],
+        &EcvEnv::from_decls(&iface.ecvs),
+        16,
+        &cfg,
+    )
+    .unwrap();
     println!(
         "interface predicts {} per request (measured {})",
         dist.mean(),
@@ -76,7 +82,14 @@ fn main() {
     // more productive to raise the cache hit rate or to optimize the model?
     println!("\nwhat-if analysis (no redeployment needed):");
     for p in [0.3, 0.5, 0.7, 0.9] {
-        let i = fig1_interface(p, p_local, &cal, &CacheEnergy::default(), nic.e_byte, nic.e_packet);
+        let i = fig1_interface(
+            p,
+            p_local,
+            &cal,
+            &CacheEnergy::default(),
+            nic.e_byte,
+            nic.e_packet,
+        );
         let d = enumerate_exact(
             &i,
             "handle",

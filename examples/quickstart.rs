@@ -7,8 +7,8 @@
 use energy_clarity::core::analysis::paths::enumerate_paths;
 use energy_clarity::core::analysis::worst_case::worst_case;
 use energy_clarity::core::ecv::EcvEnv;
-use energy_clarity::core::interp::{enumerate_exact, monte_carlo, EvalConfig};
 use energy_clarity::core::interface::InputSpec;
+use energy_clarity::core::interp::{enumerate_exact, monte_carlo, EvalConfig};
 use energy_clarity::core::parser::parse;
 use energy_clarity::core::pretty::print_interface;
 use energy_clarity::core::units::Calibration;
@@ -41,7 +41,10 @@ fn main() {
     .expect("parses");
 
     // It is both human-readable...
-    println!("--- the interface, pretty-printed ---\n{}", print_interface(&iface));
+    println!(
+        "--- the interface, pretty-printed ---\n{}",
+        print_interface(&iface)
+    );
 
     // ...and machine-executable.
     let cfg = EvalConfig::default();
@@ -49,11 +52,32 @@ fn main() {
     let image = Value::num_record([("kilobytes", 512.0)]);
 
     // 2. Exact distribution over the ECV outcomes.
-    let dist = enumerate_exact(&iface, "handle", &[image.clone()], &env, 16, &cfg).unwrap();
-    println!("512 KB image: expected {}, worst outcome {}", dist.mean(), dist.max());
+    let dist = enumerate_exact(
+        &iface,
+        "handle",
+        std::slice::from_ref(&image),
+        &env,
+        16,
+        &cfg,
+    )
+    .unwrap();
+    println!(
+        "512 KB image: expected {}, worst outcome {}",
+        dist.mean(),
+        dist.max()
+    );
 
     // 3. Monte Carlo agrees (useful when ECVs are continuous).
-    let mc = monte_carlo(&iface, "handle", &[image.clone()], &env, 10_000, 42, &cfg).unwrap();
+    let mc = monte_carlo(
+        &iface,
+        "handle",
+        std::slice::from_ref(&image),
+        &env,
+        10_000,
+        42,
+        &cfg,
+    )
+    .unwrap();
     println!("Monte Carlo mean: {}", mc.mean());
 
     // 4. Per-path view: which code path costs what, with what probability.

@@ -21,12 +21,18 @@ fn fig2_machines_rank_as_expected() {
 #[test]
 fn eas_reaches_paper_conclusion() {
     let rows = experiments::run_eas();
-    let plain = rows.iter().find(|r| r.predictor == "utilization-proxy").unwrap();
+    let plain = rows
+        .iter()
+        .find(|r| r.predictor == "utilization-proxy")
+        .unwrap();
     let safe = rows
         .iter()
         .find(|r| r.predictor == "conservative-proxy")
         .unwrap();
-    let iface = rows.iter().find(|r| r.predictor == "energy-interface").unwrap();
+    let iface = rows
+        .iter()
+        .find(|r| r.predictor == "energy-interface")
+        .unwrap();
     assert!(plain.missed > 0);
     assert_eq!(safe.missed, 0);
     assert_eq!(iface.missed, 0);
@@ -36,8 +42,14 @@ fn eas_reaches_paper_conclusion() {
 #[test]
 fn cluster_reaches_paper_conclusion() {
     let rows = experiments::run_cluster();
-    let base = rows.iter().find(|r| r.policy == "cpu-requests-only").unwrap();
-    let smart = rows.iter().find(|r| r.policy == "energy-interface").unwrap();
+    let base = rows
+        .iter()
+        .find(|r| r.policy == "cpu-requests-only")
+        .unwrap();
+    let smart = rows
+        .iter()
+        .find(|r| r.policy == "energy-interface")
+        .unwrap();
     assert!(smart.energy < base.energy);
     assert_eq!(smart.analytics_on_bigmem, 12);
 }

@@ -1,0 +1,198 @@
+//! Golden-corpus regression over the paper's headline numbers.
+//!
+//! Every report the `--json` binaries emit (Table 1, experiments E1–E7,
+//! and the Fig. 2 full-stack rows as the eighth corpus entry) is frozen
+//! as JSON under `tests/golden/`. The tests re-run each experiment and
+//! diff the serialized tree against the golden file, comparing numbers
+//! with a relative tolerance so libm differences across platforms don't
+//! produce false alarms — everything else must match exactly.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_experiments
+//! ```
+//!
+//! then review the diff of `tests/golden/*.json` like any other code
+//! change.
+
+use serde::{Serialize, Value};
+
+/// Relative tolerance for numeric leaves. All experiment seeds are fixed,
+/// so runs are deterministic on one machine; the slack only absorbs
+/// cross-platform libm (`exp`/`ln`/`powf`) differences.
+const REL_TOL: f64 = 1e-6;
+/// Absolute floor for comparisons near zero.
+const ABS_TOL: f64 = 1e-12;
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diffs `actual` against the golden file `name`, or rewrites the file
+/// when `GOLDEN_BLESS=1`.
+fn check_golden(name: &str, actual: &Value) {
+    let path = golden_path(name);
+    if std::env::var("GOLDEN_BLESS").as_deref() == Ok("1") {
+        let rendered = serde_json::to_string_pretty(actual).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered + "\n").unwrap();
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run GOLDEN_BLESS=1 cargo test \
+             --test golden_experiments to create it",
+            path.display()
+        )
+    });
+    let expected: Value = serde_json::from_str(&text).unwrap();
+    let mut diffs = Vec::new();
+    diff_value(&expected, actual, name.to_string(), &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "golden mismatch in {name} ({} diff(s)):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+/// Structural diff: numbers within tolerance, everything else exact.
+fn diff_value(expected: &Value, actual: &Value, path: String, diffs: &mut Vec<String>) {
+    match (expected, actual) {
+        (e, a) if e.as_f64().is_some() && a.as_f64().is_some() => {
+            let (e, a) = (e.as_f64().unwrap(), a.as_f64().unwrap());
+            let scale = e.abs().max(a.abs());
+            if (e - a).abs() > ABS_TOL + REL_TOL * scale {
+                diffs.push(format!("{path}: expected {e}, got {a}"));
+            }
+        }
+        (Value::Array(e), Value::Array(a)) => {
+            if e.len() != a.len() {
+                diffs.push(format!(
+                    "{path}: expected {} elements, got {}",
+                    e.len(),
+                    a.len()
+                ));
+                return;
+            }
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                diff_value(ev, av, format!("{path}[{i}]"), diffs);
+            }
+        }
+        (Value::Object(e), Value::Object(a)) => {
+            let ekeys: Vec<&str> = e.iter().map(|(k, _)| k.as_str()).collect();
+            let akeys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            if ekeys != akeys {
+                diffs.push(format!("{path}: keys {ekeys:?} vs {akeys:?}"));
+                return;
+            }
+            for ((k, ev), (_, av)) in e.iter().zip(a) {
+                diff_value(ev, av, format!("{path}.{k}"), diffs);
+            }
+        }
+        (e, a) => {
+            if e != a {
+                diffs.push(format!("{path}: expected {e:?}, got {a:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn table1_matches_golden() {
+    check_golden("table1.json", &ei_bench::table1::run().to_value());
+}
+
+#[test]
+fn fig2_full_stack_matches_golden() {
+    check_golden("fig2.json", &ei_bench::fig2::run().to_value());
+}
+
+#[test]
+fn e1_eas_matches_golden() {
+    check_golden("e1_eas.json", &ei_bench::experiments::run_eas().to_value());
+}
+
+#[test]
+fn e2_cluster_matches_golden() {
+    check_golden(
+        "e2_cluster.json",
+        &ei_bench::experiments::run_cluster().to_value(),
+    );
+}
+
+#[test]
+fn e3_fuzz_matches_golden() {
+    check_golden(
+        "e3_fuzz.json",
+        &ei_bench::experiments::run_fuzz().to_value(),
+    );
+}
+
+#[test]
+fn e4_marginal_matches_golden() {
+    check_golden(
+        "e4_marginal.json",
+        &ei_bench::experiments::run_marginal().to_value(),
+    );
+}
+
+#[test]
+fn e5_sidechannel_matches_golden() {
+    check_golden(
+        "e5_sidechannel.json",
+        &ei_bench::experiments::run_sidechannel().to_value(),
+    );
+}
+
+#[test]
+fn e6_bughunt_matches_golden() {
+    check_golden(
+        "e6_bughunt.json",
+        &ei_bench::experiments::run_bughunt().to_value(),
+    );
+}
+
+#[test]
+fn e7_composition_matches_golden() {
+    check_golden(
+        "e7_composition.json",
+        &ei_bench::experiments::run_composition().to_value(),
+    );
+}
+
+/// The golden corpus itself must be well-formed JSON that round-trips
+/// through the serializer (guards against hand-edited corruption).
+#[test]
+fn golden_corpus_is_well_formed() {
+    if std::env::var("GOLDEN_BLESS").as_deref() == Ok("1") {
+        // Files are being rewritten concurrently by the other tests.
+        return;
+    }
+    let dir = golden_path("");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/golden exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let rendered = serde_json::to_string_pretty(&value).unwrap() + "\n";
+        assert_eq!(
+            rendered,
+            text,
+            "{} is not in canonical pretty format",
+            path.display()
+        );
+        count += 1;
+    }
+    assert!(
+        count >= 9,
+        "expected at least 9 golden files, found {count}"
+    );
+}

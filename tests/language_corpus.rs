@@ -5,15 +5,22 @@
 
 use energy_clarity::core::analysis::worst_case::worst_case;
 use energy_clarity::core::ecv::EcvEnv;
+use energy_clarity::core::interface::{InputSpec, Interface};
 use energy_clarity::core::interp::{evaluate_energy, EvalConfig};
-use energy_clarity::core::interface::{Interface, InputSpec};
 use energy_clarity::core::parser::parse;
 use energy_clarity::core::pretty::print_interface;
 use energy_clarity::core::units::Calibration;
 use energy_clarity::core::value::Value;
 
 /// `(name, source, entry, scalar args, input spec for analysis)`.
-fn corpus() -> Vec<(&'static str, &'static str, &'static str, Vec<f64>, Option<InputSpec>)> {
+#[allow(clippy::type_complexity)]
+fn corpus() -> Vec<(
+    &'static str,
+    &'static str,
+    &'static str,
+    Vec<f64>,
+    Option<InputSpec>,
+)> {
     vec![
         (
             "dram_controller",
@@ -132,8 +139,10 @@ fn corpus_evaluates_positive_energy() {
     )]);
     for (name, src, entry, args, _) in corpus() {
         let iface = parse(src).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.calibration = cal.clone();
+        let cfg = EvalConfig {
+            calibration: cal.clone(),
+            ..EvalConfig::default()
+        };
         let vals: Vec<Value> = args.iter().map(|a| Value::Num(*a)).collect();
         let env = EcvEnv::from_decls(&iface.ecvs);
         for seed in 0..8 {
@@ -149,8 +158,7 @@ fn corpus_serializes_to_json_and_back() {
     for (name, src, _, _, _) in corpus() {
         let iface = parse(src).unwrap();
         let json = serde_json::to_string(&iface).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let back: Interface =
-            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let back: Interface = serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(iface, back, "{name} JSON round-trip");
     }
 }
@@ -164,10 +172,12 @@ fn corpus_worst_case_bounds_are_sound() {
     for (name, src, entry, args, spec) in corpus() {
         let Some(spec) = spec else { continue };
         let iface = parse(src).unwrap();
-        let bound = worst_case(&iface, entry, &spec, &cal)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let mut cfg = EvalConfig::default();
-        cfg.calibration = cal.clone();
+        let bound =
+            worst_case(&iface, entry, &spec, &cal).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cfg = EvalConfig {
+            calibration: cal.clone(),
+            ..EvalConfig::default()
+        };
         let env = EcvEnv::from_decls(&iface.ecvs);
         // The declared sample point lies in every spec's range.
         let vals: Vec<Value> = args.iter().map(|a| Value::Num(*a)).collect();

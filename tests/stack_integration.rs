@@ -4,8 +4,8 @@
 
 use energy_clarity::core::analysis::worst_case::worst_case;
 use energy_clarity::core::ecv::EcvEnv;
-use energy_clarity::core::interp::{evaluate_energy, EvalConfig};
 use energy_clarity::core::interface::InputSpec;
+use energy_clarity::core::interp::{evaluate_energy, EvalConfig};
 use energy_clarity::core::parser::parse;
 use energy_clarity::core::pretty::print_interface;
 use energy_clarity::core::stack::{Layer, Resource, Stack};
@@ -74,15 +74,7 @@ fn composed_interface_supports_worst_case_analysis() {
     // The bound is sound for concrete points in the range.
     let cfg = EvalConfig::default();
     for m in [1.0, 250.0, 999.0] {
-        let e = evaluate_energy(
-            app,
-            "infer",
-            &[Value::Num(m)],
-            &EcvEnv::new(),
-            0,
-            &cfg,
-        )
-        .unwrap();
+        let e = evaluate_energy(app, "infer", &[Value::Num(m)], &EcvEnv::new(), 0, &cfg).unwrap();
         assert!(bound.admits(e), "{m} MFLOP sample escapes the bound");
     }
 }
@@ -125,7 +117,10 @@ fn machine_ranking_crosses_over_with_kernel_size() {
     assert!(eval(&b, 10.0) < eval(&a, 10.0));
     // Substantial kernels: the efficient part wins, consistently.
     for m in [100.0, 1000.0, 5000.0] {
-        assert!(eval(&a, m) < eval(&b, m), "ranking flipped back at {m} MFLOPs");
+        assert!(
+            eval(&a, m) < eval(&b, m),
+            "ranking flipped back at {m} MFLOPs"
+        );
     }
 }
 

@@ -6,8 +6,8 @@
 use energy_clarity::core::analysis::compat::{check_compat, CompatConfig};
 use energy_clarity::core::compose::link;
 use energy_clarity::core::ecv::EcvEnv;
-use energy_clarity::core::interp::{evaluate_energy, EvalConfig};
 use energy_clarity::core::interface::InputSpec;
+use energy_clarity::core::interp::{evaluate_energy, EvalConfig};
 use energy_clarity::core::parser::parse;
 use energy_clarity::core::value::Value;
 use energy_clarity::extract::microbench::fit_gpu_model;
@@ -21,10 +21,11 @@ use energy_clarity::llm::{gpt2_interface, gpt2_small, Gpt2Engine};
 fn fitted_interface_predicts_generation_within_ten_percent() {
     for gpu in [rtx4090(), rtx3070()] {
         let (model, _) = fit_gpu_model(&gpu, MeterConfig::nvml()).unwrap();
-        let linked =
-            link(&gpt2_interface(&gpt2_small()), &[&model.to_interface(&gpu)]).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.fuel = 200_000_000;
+        let linked = link(&gpt2_interface(&gpt2_small()), &[&model.to_interface(&gpu)]).unwrap();
+        let cfg = EvalConfig {
+            fuel: 200_000_000,
+            ..EvalConfig::default()
+        };
         let predicted = evaluate_energy(
             &linked,
             "e_generate",
@@ -46,10 +47,11 @@ fn fitted_interface_predicts_generation_within_ten_percent() {
 fn prediction_error_ordering_matches_table1() {
     let err = |gpu: energy_clarity::hw::gpu::GpuConfig| {
         let (model, _) = fit_gpu_model(&gpu, MeterConfig::nvml()).unwrap();
-        let linked =
-            link(&gpt2_interface(&gpt2_small()), &[&model.to_interface(&gpu)]).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.fuel = 400_000_000;
+        let linked = link(&gpt2_interface(&gpt2_small()), &[&model.to_interface(&gpu)]).unwrap();
+        let cfg = EvalConfig {
+            fuel: 400_000_000,
+            ..EvalConfig::default()
+        };
         let predicted = evaluate_energy(
             &linked,
             "e_generate",

@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the criterion API shape (`bench_function`, `benchmark_group`,
+//! `criterion_group!`/`criterion_main!`) but with a much simpler
+//! measurement loop: warm up briefly, auto-calibrate an iteration batch
+//! size, take `sample_size` wall-clock samples, and print mean/min/max
+//! nanoseconds per iteration. No statistics beyond that, no plots, no
+//! saved baselines — this repo's benches only need honest relative
+//! numbers (serial vs parallel, cold vs cached).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(25),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the wall-clock target for one timed sample.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.target_sample_time = t / 10;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.target_sample_time);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(samples, self.criterion.target_sample_time);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Runs one unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(samples, self.criterion.target_sample_time);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to benchmark closures; owns the measurement loop.
+pub struct Bencher {
+    sample_size: usize,
+    target_sample_time: Duration,
+    /// Mean/min/max nanoseconds per iteration, filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, target_sample_time: Duration) -> Bencher {
+        Bencher {
+            sample_size,
+            target_sample_time,
+            result: None,
+        }
+    }
+
+    /// Times `routine`, auto-calibrating the batch size.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run until ~10ms or 1000 iters elapsed.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let warm_budget = Duration::from_millis(10);
+        while warm_start.elapsed() < warm_budget && warm_iters < 1000 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.target_sample_time.as_secs_f64() / per_iter) as u64).clamp(1, 1 << 20);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            samples.push(ns);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        self.result = Some((mean, min, max));
+    }
+
+    fn report(&self, name: &str) {
+        match self.result {
+            Some((mean, min, max)) => println!(
+                "{name:<44} time: [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(mean),
+                fmt_ns(max)
+            ),
+            None => println!("{name:<44} (no measurement)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, with an optional config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        for n in [1u64, 2] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| b.iter(|| n * 2));
+        }
+        g.finish();
+    }
+}

@@ -1,0 +1,844 @@
+//! Offline stand-in for `proptest`: sample-based property testing.
+//!
+//! Reproduces the slice of the proptest API this workspace uses —
+//! `proptest!`, `prop_oneof!`, strategy combinators (`prop_map`,
+//! `prop_filter`, `prop_recursive`), `BoxedStrategy`, range and regex-lite
+//! string strategies, and `proptest::collection::{vec, btree_set}` — on top
+//! of a deterministic RNG. The big intentional difference from real
+//! proptest: **no shrinking**. On failure the harness prints the exact
+//! sampled input (which is reproducible, since sampling is deterministic)
+//! and re-raises the panic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::*;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards values failing `pred`, resampling (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        /// Builds recursive values: `self` is the leaf strategy, `branch`
+        /// wraps an inner strategy into a larger value. The tree depth is
+        /// bounded by `depth`; the other two knobs (desired size, expected
+        /// branch size) are accepted for API compatibility but unused by
+        /// this sample-only implementation.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                cur = Union::new(vec![(1, base.clone()), (2, branch(cur).boxed())]).boxed();
+            }
+            cur
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe view of a strategy, used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter `{}` rejected 1000 consecutive samples",
+                self.whence
+            );
+        }
+    }
+
+    /// A weighted union of same-valued strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! needs at least one arm");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total_weight: self.total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.random_range(0..self.total_weight);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum mismatch")
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // -- Ranges -----------------------------------------------------------
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            self.start + (self.end - self.start) * rng.random::<f64>()
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            // The endpoint has measure zero; sampling the half-open range
+            // plus an explicit 1-in-4096 endpoint draw keeps it reachable.
+            if rng.random_range(0u32..4096) == 0 {
+                *self.end()
+            } else {
+                self.start() + (self.end() - self.start()) * rng.random::<f64>()
+            }
+        }
+    }
+
+    // -- Tuples -----------------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    // -- Regex-lite string strategies -------------------------------------
+
+    /// `&'static str` acts as a strategy generating strings matching a
+    /// small regex subset: literal chars, `[...]` classes with ranges,
+    /// and quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom: a char class or a literal (possibly escaped).
+            let atom: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i + 1)
+                        .unwrap_or_else(|| panic!("unclosed [ in regex `{pattern}`"));
+                    let class = parse_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    let c = chars[i + 1];
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Parse an optional quantifier.
+            let (lo, hi) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i + 1..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| p + i + 1)
+                            .unwrap_or_else(|| panic!("unclosed {{ in regex `{pattern}`"));
+                        let spec: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match spec.split_once(',') {
+                            Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                            None => {
+                                let m: usize = spec.trim().parse().unwrap();
+                                (m, m)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            let count = rng.random_range(lo..=hi);
+            for _ in 0..count {
+                let pick = rng.random_range(0..atom.len());
+                out.push(atom[pick]);
+            }
+        }
+        out
+    }
+
+    /// Expands `[a-z0-9_]`-style class contents into the set of chars.
+    fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+        assert!(
+            body.first() != Some(&'^'),
+            "negated classes unsupported in regex `{pattern}`"
+        );
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                assert!(lo <= hi, "bad class range in regex `{pattern}`");
+                for cp in lo..=hi {
+                    out.push(char::from_u32(cp).unwrap());
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty class in regex `{pattern}`");
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type, backing `any::<T>()`.
+    //!
+    //! Imports are explicit (no `use super::*`) so the sibling `bool`
+    //! module cannot shadow the primitive `bool` type.
+
+    use super::strategy::{BoxedStrategy, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical default strategy.
+    pub trait Arbitrary: Sized {
+        /// Returns the default strategy for this type.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    struct FullRange<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random::<u64>() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    FullRange::<$t>(std::marker::PhantomData).boxed()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random::<u64>() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    FullRange::<$t>(std::marker::PhantomData).boxed()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Strategy for FullRange<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            FullRange::<bool>(std::marker::PhantomData).boxed()
+        }
+    }
+
+    impl Strategy for FullRange<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            // Finite floats over a wide dynamic range: sign * mantissa *
+            // 10^exp with exp in [-12, 12].
+            let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            let mantissa = rng.random::<f64>();
+            let exp = rng.random_range(-12i64..=12) as i32;
+            sign * mantissa * 10f64.powi(exp)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary() -> BoxedStrategy<f64> {
+            FullRange::<f64>(std::marker::PhantomData).boxed()
+        }
+    }
+
+    /// The default strategy for `T` (used by `x: T` params in `proptest!`).
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s whose elements come from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times.
+            for _ in 0..target * 20 + 20 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            assert!(
+                out.len() >= self.size.lo,
+                "btree_set: element strategy too narrow for requested size"
+            );
+            out
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The strategy producing uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-running harness behind `proptest!`.
+
+    use super::strategy::Strategy;
+    use super::*;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runner configuration; only `cases` is meaningful here.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Runs `body` against `config.cases` samples of `strategy`, printing
+    /// the exact failing input (reproducible: sampling is deterministic)
+    /// before re-raising any panic.
+    pub fn run<S, F>(config: &Config, strategy: S, body: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value),
+    {
+        let mut rng = StdRng::seed_from_u64(0x5EED_CA5E);
+        for case in 0..config.cases {
+            let value = strategy.sample(&mut rng);
+            let repr = format!("{value:#?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(value)));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest: property failed at case {}/{} with input:\n{}",
+                    case + 1,
+                    config.cases,
+                    repr
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property, reporting through the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when an assumption fails. Sample-only runner:
+/// treated as a hard precondition failure after too many skips is not
+/// tracked, the case simply returns early.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Picks one of several strategies (optionally weighted: `w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, x: Type) { .. }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal `@` rules must precede the catch-all entry arm, or recursive
+    // invocations would re-enter it and loop forever.
+
+    // One test fn, then recurse on the remainder. `#[test]` is written by
+    // the user inside the block (proptest convention), so it arrives via
+    // the meta repetition and is not added here.
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::proptest!(@parse __config, (), (), $body, $($params)*);
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+
+    // Parameter munching: accumulate (strategies) and (patterns).
+    (@parse $cfg:ident, ($($strats:tt)*), ($($pats:tt)*), $body:block,
+        $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        $crate::proptest!(@parse $cfg, ($($strats)* ($strat),), ($($pats)* $pat,),
+            $body, $($rest)*);
+    };
+    (@parse $cfg:ident, ($($strats:tt)*), ($($pats:tt)*), $body:block,
+        $pat:pat_param in $strat:expr) => {
+        $crate::proptest!(@parse $cfg, ($($strats)* ($strat),), ($($pats)* $pat,),
+            $body,);
+    };
+    (@parse $cfg:ident, ($($strats:tt)*), ($($pats:tt)*), $body:block,
+        $var:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::proptest!(@parse $cfg,
+            ($($strats)* ($crate::arbitrary::any::<$ty>()),), ($($pats)* $var,),
+            $body, $($rest)*);
+    };
+    (@parse $cfg:ident, ($($strats:tt)*), ($($pats:tt)*), $body:block,
+        $var:ident : $ty:ty) => {
+        $crate::proptest!(@parse $cfg,
+            ($($strats)* ($crate::arbitrary::any::<$ty>()),), ($($pats)* $var,),
+            $body,);
+    };
+    // All parameters consumed: run.
+    (@parse $cfg:ident, ($(($strat:expr),)+), ($($pat:pat_param,)+), $body:block,) => {
+        $crate::test_runner::run(&$cfg, ($($strat,)+), |($($pat,)+)| $body);
+    };
+
+    // Entry: leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // Entry: no config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::sample(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        for _ in 0..50 {
+            let s = crate::strategy::Strategy::sample(&"[ -~]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -2.0f64..2.0, z: u64, b: bool) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            let _ = (z, b);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0u32..5).prop_map(|n| n * 2), 1..6),
+            s in prop_oneof![Just(1u32), 10u32..20],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|n| n % 2 == 0));
+            prop_assert!(s == 1 || (10..20).contains(&s));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let t = crate::strategy::Strategy::sample(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+        }
+    }
+}

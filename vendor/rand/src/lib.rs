@@ -1,0 +1,270 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the slice of the rand 0.9 API this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::random`, and `Rng::random_range` —
+//! backed by a deterministic xoshiro256++ generator seeded via SplitMix64.
+//! Determinism is load-bearing: interpreter results, golden files, and the
+//! parallel Monte-Carlo engine all assume that the same seed produces the
+//! same stream on every platform and every build.
+
+/// A low-level source of 64-bit randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG (the `Standard`
+/// distribution in real rand).
+pub trait Standard: Sized {
+    /// Draws one value using the provided 64-bit word source.
+    fn sample_with(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_with(next: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 uniform bits in [0, 1), the standard conversion.
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_with(next: &mut dyn FnMut() -> u64) -> f32 {
+        (next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_with(next: &mut dyn FnMut() -> u64) -> u64 {
+        next()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_with(next: &mut dyn FnMut() -> u64) -> u32 {
+        (next() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_with(next: &mut dyn FnMut() -> u64) -> bool {
+        next() & 1 == 1
+    }
+}
+
+/// A half-open or inclusive range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value in the range using the word source.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Multiply-shift rejection-free mapping is fine here: spans in
+                // this workspace are tiny relative to 2^64, so modulo bias is
+                // far below observable levels, and determinism matters more.
+                let v = (next() as u128) % span;
+                (self.start as u128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as u128).wrapping_sub(start as u128) + 1;
+                let v = (next() as u128) % span;
+                (start as u128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let u = f64::sample_with(next);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// High-level sampling methods, available on any `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::sample_with(&mut f)
+    }
+
+    /// Samples a value uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut f = || self.next_u64();
+        range.sample_from(&mut f)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs that can be constructed from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: the canonical seed expander (Steele et al.).
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ (Blackman & Vigna),
+    /// seeded by expanding a `u64` through SplitMix64.
+    ///
+    /// Not the same stream as upstream rand's ChaCha12-based `StdRng`, but
+    /// every consumer in this repo only relies on *determinism*, not on any
+    /// particular stream, so a fast permuted-LFSR generator is the right
+    /// trade.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = Self::rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = Self::rotl(s[3], 45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_covers_both_halves() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            if x < 0.5 {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        assert!(low > 350 && high > 350, "low={low} high={high}");
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.random_range(5u64..15);
+            assert!((5..15).contains(&v));
+            let w = rng.random_range(0usize..=3);
+            assert!(w <= 3);
+            let f = rng.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_ref() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let x = draw(dynamic);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

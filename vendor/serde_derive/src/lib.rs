@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no syn/quote available offline).
+//!
+//! The input item is parsed just deeply enough to learn its *shape* — item
+//! name, field names / tuple arities, enum variant forms. Field **types are
+//! never parsed**: the generated `Deserialize` code calls
+//! `::serde::Deserialize::from_value(...)` and lets type inference pick the
+//! impl, which is what makes a syn-free derive practical.
+//!
+//! Supported shapes (everything this workspace derives): unit/tuple/named
+//! structs and enums whose variants are unit, tuple, or struct-like.
+//! Generics and `#[serde(...)]` attributes are not supported and panic
+//! loudly rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or an enum variant payload.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the tree-model `Serialize` (see the vendored `serde` crate).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_serialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the tree-model `Deserialize` (see the vendored `serde` crate).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => gen_struct_deserialize(name, shape),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (on `{name}`)");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                None => Shape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips any leading `#[...]` attributes (including doc comments) and a
+/// `pub`/`pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    toks.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits `stream` on commas that sit outside `<...>` nesting. Brackets,
+/// braces, and parens are whole `Group` tokens, so only angle brackets need
+/// explicit depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field, &mut i);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant payload.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    split_top_level(body).len()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_level(body)
+        .into_iter()
+        .map(|var| {
+            let mut i = 0;
+            skip_attrs_and_vis(&var, &mut i);
+            let name = match var.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let shape = match var.get(i) {
+                None => Shape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde_derive: explicit discriminants are not supported")
+                }
+                other => panic!("serde_derive: unexpected variant payload {other:?}"),
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                Shape::Unit => {
+                    format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                }
+                Shape::Tuple(1) => format!(
+                    "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\
+                     \"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(vec![(\
+                         \"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                         \"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                        pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{\n\
+         \t\tmatch self {{\n{}\n\t\t}}\n\
+         \t}}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "match __v {{\n\
+             \t::serde::Value::Null => Ok({name}),\n\
+             \t__other => Err(::serde::DeError::expected(\"null\", __other)),\n\
+             }}"
+        ),
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 \t::serde::Value::Array(__items) if __items.len() == {n} => \
+                 Ok({name}({})),\n\
+                 \t__other => Err(::serde::DeError::expected(\
+                 \"array of length {n}\", __other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\"))\
+                         .map_err(|e| ::serde::DeError::msg(\
+                         format!(\"{name}.{f}: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "if __v.as_object().is_none() {{\n\
+                 \treturn Err(::serde::DeError::expected(\"object\", __v));\n\
+                 }}\n\
+                 Ok({name} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as plain strings.
+    let str_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+
+    // Payload variants arrive as single-key objects.
+    let obj_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            let arm = match &v.shape {
+                Shape::Unit => return None,
+                Shape::Tuple(1) => format!(
+                    "\"{vn}\" => Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__payload)?)),"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => match __payload {{\n\
+                         \t::serde::Value::Array(__items) if __items.len() == {n} => \
+                         Ok({name}::{vn}({})),\n\
+                         \t__other => Err(::serde::DeError::expected(\
+                         \"array of length {n}\", __other)),\n\
+                         }},",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __payload.field(\"{f}\"))?,"
+                            )
+                        })
+                        .collect();
+                    format!("\"{vn}\" => Ok({name}::{vn} {{\n{}\n}}),", inits.join("\n"))
+                }
+            };
+            Some(arm)
+        })
+        .collect();
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match __v {{\n\
+         \t::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {str_arms}\n\
+         \t\t__other => Err(::serde::DeError::msg(\
+         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         \t}},\n\
+         \t::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+         \t\tlet (__tag, __payload) = (&__pairs[0].0, &__pairs[0].1);\n\
+         \t\tmatch __tag.as_str() {{\n\
+         {obj_arms}\n\
+         \t\t\t__other => Err(::serde::DeError::msg(\
+         format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         \t\t}}\n\
+         \t}}\n\
+         \t__other => Err(::serde::DeError::expected(\
+         \"string or single-key object\", __other)),\n\
+         }}\n\
+         }}\n\
+         }}",
+        str_arms = str_arms.join("\n"),
+        obj_arms = obj_arms.join("\n"),
+    )
+}
