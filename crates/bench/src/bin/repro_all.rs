@@ -1,5 +1,13 @@
 //! Runs every reproduction in sequence (Table 1 last; it is the slowest).
+//!
+//! The whole run executes inside a telemetry session: alongside the
+//! rendered tables it writes `telemetry.json` (override the path with
+//! `TELEMETRY_OUT`; set it empty to skip) — a deterministic, byte-stable
+//! trace of every span, counter, and histogram the run produced — and
+//! prints the same data as a Prometheus text dump.
 fn main() {
+    let session = ei_telemetry::session();
+
     println!("{}", ei_bench::fig2::render(&ei_bench::fig2::run()));
     println!(
         "{}",
@@ -32,4 +40,14 @@ fn main() {
     println!("{}", ei_bench::ablation::render(&ei_bench::ablation::run()));
     println!("{}", ei_bench::fig1::render(&ei_bench::fig1::run()));
     println!("{}", ei_bench::table1::render(&ei_bench::table1::run()));
+
+    let snapshot = session.finish();
+    println!("=== Telemetry (Prometheus text format) ===\n");
+    print!("{}", snapshot.to_prometheus());
+
+    let out = std::env::var("TELEMETRY_OUT").unwrap_or_else(|_| "telemetry.json".to_string());
+    if !out.is_empty() {
+        std::fs::write(&out, snapshot.to_json_pretty()).expect("write telemetry trace");
+        eprintln!("telemetry trace written to {out}");
+    }
 }

@@ -111,6 +111,7 @@ pub fn measure(gpu: &GpuConfig, prompt: u64, gen: u64) -> Energy {
 
 /// Runs the full Table 1 experiment for one GPU.
 pub fn run_gpu(gpu: &GpuConfig) -> Table1Row {
+    let _sp = ei_telemetry::span(ei_telemetry::SpanKind::Experiment, "table1");
     let (linked, fit_r2) = fitted_gpt2_interface(gpu);
     let predictions = predict_batch(&linked, &sweep());
     let mut points = Vec::new();

@@ -34,7 +34,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use ei_telemetry as telemetry;
 use serde::Serialize;
+use telemetry::SpanKind;
 
 use crate::compose::{link, link_closure, Registry};
 use crate::ecv::EcvEnv;
@@ -216,10 +218,12 @@ impl EvalCache {
 
     fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("core.cache.hits", 1);
     }
 
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("core.cache.misses", 1);
     }
 
     /// Hit/miss counters so far.
@@ -312,12 +316,15 @@ impl EvalCache {
         hash_config(&mut h, config);
         let key = h.0;
 
+        let mut sp = telemetry::span(SpanKind::CacheLookup, func);
         if let Some(found) = self.energies.lock().unwrap().get(&key) {
             self.hit();
+            sp.record_energy(found.as_joules());
             return Ok(*found);
         }
         self.miss();
         let e = evaluate_energy(iface, func, args, env, seed, config)?;
+        sp.record_energy(e.as_joules());
         self.energies.lock().unwrap().insert(key, e);
         Ok(e)
     }
@@ -342,12 +349,15 @@ impl EvalCache {
         hash_config(&mut h, config);
         let key = h.0;
 
+        let mut sp = telemetry::span(SpanKind::CacheLookup, func);
         if let Some(found) = self.energies.lock().unwrap().get(&key) {
             self.hit();
+            sp.record_energy(found.as_joules());
             return Ok(*found);
         }
         self.miss();
         let e = expected_energy(iface, func, args, config)?;
+        sp.record_energy(e.as_joules());
         self.energies.lock().unwrap().insert(key, e);
         Ok(e)
     }

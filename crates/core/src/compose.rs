@@ -81,6 +81,9 @@ impl Registry {
 /// provider function, if merged function names collide, or if ECV
 /// redeclarations conflict.
 pub fn link(upper: &Interface, providers: &[&Interface]) -> Result<Interface> {
+    let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Link, &upper.name);
+    sp.add_items(providers.len() as u64);
+    ei_telemetry::counter_add("core.compose.links", 1);
     let mut out = upper.clone();
 
     for provider in providers {
@@ -190,6 +193,7 @@ pub fn link(upper: &Interface, providers: &[&Interface]) -> Result<Interface> {
 /// Links `upper` against every interface in `registry` that provides one of
 /// its externs, repeating until no more externs can be resolved.
 pub fn link_closure(upper: &Interface, registry: &Registry) -> Result<Interface> {
+    ei_telemetry::counter_add("core.compose.link_closures", 1);
     let mut current = upper.clone();
     loop {
         if current.externs.is_empty() {

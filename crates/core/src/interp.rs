@@ -12,6 +12,9 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ei_telemetry as telemetry;
+use telemetry::SpanKind;
+
 use crate::ast::{BinOp, Builtin, Expr, FnDef, Stmt, UnOp};
 use crate::dist::EnergyDist;
 use crate::ecv::{EcvEnv, EcvValue};
@@ -527,7 +530,16 @@ pub fn eval_with_assignment(
         fuel_limit: config.fuel,
         max_depth: config.max_depth,
     };
-    ev.call(func, args.to_vec(), 0)
+    let result = ev.call(func, args.to_vec(), 0);
+    if telemetry::enabled() {
+        telemetry::counter_add("core.interp.evals", 1);
+        telemetry::observe_ticks(
+            "core.interp.fuel_per_eval",
+            &telemetry::FUEL,
+            config.fuel.saturating_sub(ev.fuel),
+        );
+    }
+    result
 }
 
 /// Evaluates `iface.func(args)` once, sampling unpinned ECVs with `seed`.
@@ -558,7 +570,9 @@ pub fn evaluate_energy(
     config: &EvalConfig,
 ) -> Result<Energy> {
     let v = evaluate(iface, func, args, env, seed, config)?;
-    v.into_energy()?.calibrate(&config.calibration)
+    let e = v.into_energy()?.calibrate(&config.calibration)?;
+    telemetry::observe("core.interp.energy_j", &telemetry::ENERGY_J, e.as_joules());
+    Ok(e)
 }
 
 /// Monte-Carlo sample-chunk size.
@@ -597,14 +611,28 @@ fn mc_chunk(
     chunk_index: u64,
     config: &EvalConfig,
     cal: &InternedCalibration,
+    parent: &str,
 ) -> Result<Vec<Energy>> {
+    // Indexed span: keyed by the deterministic chunk index and rooted at
+    // the driver's path, so the trace is identical whether this chunk ran
+    // inline or on a worker thread.
+    let mut sp = telemetry::span_indexed(parent, SpanKind::McChunk, func, chunk_index);
+    telemetry::counter_add("core.interp.mc_chunks", 1);
     let mut rng = StdRng::seed_from_u64(mc_chunk_seed(seed, chunk_index));
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         let assignment = env.sample_assignment(&mut rng);
         let v = eval_with_assignment(iface, func, args, &assignment, config)?;
-        out.push(v.into_energy()?.calibrate_interned(cal)?);
+        let e = v.into_energy()?.calibrate_interned(cal)?;
+        telemetry::observe(
+            "core.interp.sample_energy_j",
+            &telemetry::ENERGY_J,
+            e.as_joules(),
+        );
+        sp.record_energy(e.as_joules());
+        out.push(e);
     }
+    sp.add_items(len as u64);
     Ok(out)
 }
 
@@ -623,6 +651,10 @@ pub fn monte_carlo(
     seed: u64,
     config: &EvalConfig,
 ) -> Result<EnergyDist> {
+    let mut sp = telemetry::span(SpanKind::Mc, func);
+    sp.add_items(n as u64);
+    telemetry::counter_add("core.interp.mc_samples", n as u64);
+    let parent = telemetry::current_path();
     let cal = config.calibration.intern();
     let mut samples = Vec::with_capacity(n);
     for (chunk_index, start) in (0..n).step_by(MC_CHUNK.max(1)).enumerate() {
@@ -637,6 +669,7 @@ pub fn monte_carlo(
             chunk_index as u64,
             config,
             &cal,
+            &parent,
         )?);
     }
     Ok(EnergyDist::empirical(samples))
@@ -674,32 +707,45 @@ pub fn monte_carlo_par(
         return monte_carlo(iface, func, args, env, n, seed, config);
     }
 
+    let mut sp = telemetry::span(SpanKind::Mc, func);
+    sp.add_items(n as u64);
+    telemetry::counter_add("core.interp.mc_samples", n as u64);
+    let parent = telemetry::current_path();
     let cal = config.calibration.intern();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let slots: Vec<std::sync::Mutex<Option<Result<Vec<Energy>>>>> =
         (0..n_chunks).map(|_| std::sync::Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
+        let (cursor, slots, cal, parent) = (&cursor, &slots, &cal, parent.as_str());
         for _ in 0..n_threads.min(n_chunks) {
-            scope.spawn(|| loop {
-                let chunk_index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if chunk_index >= n_chunks {
-                    break;
+            scope.spawn(move || {
+                loop {
+                    let chunk_index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if chunk_index >= n_chunks {
+                        break;
+                    }
+                    let start = chunk_index * MC_CHUNK;
+                    let len = MC_CHUNK.min(n - start);
+                    let result = mc_chunk(
+                        iface,
+                        func,
+                        args,
+                        env,
+                        len,
+                        seed,
+                        chunk_index as u64,
+                        config,
+                        cal,
+                        parent,
+                    );
+                    *slots[chunk_index].lock().unwrap() = Some(result);
                 }
-                let start = chunk_index * MC_CHUNK;
-                let len = MC_CHUNK.min(n - start);
-                let result = mc_chunk(
-                    iface,
-                    func,
-                    args,
-                    env,
-                    len,
-                    seed,
-                    chunk_index as u64,
-                    config,
-                    &cal,
-                );
-                *slots[chunk_index].lock().unwrap() = Some(result);
+                // Drain telemetry before the closure returns: the scope
+                // unblocks the spawner at closure return, which can be
+                // before this thread's TLS destructors (the automatic
+                // flush) have run.
+                telemetry::flush();
             });
         }
     });
@@ -733,13 +779,18 @@ pub fn evaluate_batch(
     seed: u64,
     config: &EvalConfig,
 ) -> Result<Vec<Energy>> {
+    let mut sp = telemetry::span(SpanKind::EnergyQuery, func);
+    sp.add_items(argsets.len() as u64);
+    telemetry::counter_add("core.interp.batch_evals", argsets.len() as u64);
     let mut rng = StdRng::seed_from_u64(seed);
     let assignment = env.sample_assignment(&mut rng);
     let cal = config.calibration.intern();
     let mut out = Vec::with_capacity(argsets.len());
     for args in argsets {
         let v = eval_with_assignment(iface, func, args, &assignment, config)?;
-        out.push(v.into_energy()?.calibrate_interned(&cal)?);
+        let e = v.into_energy()?.calibrate_interned(&cal)?;
+        sp.record_energy(e.as_joules());
+        out.push(e);
     }
     Ok(out)
 }
@@ -755,6 +806,9 @@ pub fn enumerate_exact(
     config: &EvalConfig,
 ) -> Result<EnergyDist> {
     let assignments = env.enumerate_assignments(limit)?;
+    let mut sp = telemetry::span(SpanKind::EnergyQuery, func);
+    sp.add_items(assignments.len() as u64);
+    telemetry::counter_add("core.interp.exact_enumerations", 1);
     let mut outcomes = Vec::with_capacity(assignments.len());
     for (assignment, p) in assignments {
         let v = eval_with_assignment(iface, func, args, &assignment, config)?;

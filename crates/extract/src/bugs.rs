@@ -78,6 +78,9 @@ pub fn detect_energy_bugs(
     config: &DetectorConfig,
     mut measure: impl FnMut(&[Value]) -> Energy,
 ) -> Result<BugReport> {
+    let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Experiment, "bughunt");
+    sp.add_items(inputs.len() as u64);
+    ei_telemetry::counter_add("extract.bughunt_inputs", inputs.len() as u64);
     let env = EcvEnv::from_decls(&iface.ecvs);
     let mut bugs = Vec::new();
     let mut max_deviation: f64 = 0.0;

@@ -123,6 +123,8 @@ pub fn fit_gpu_model(
     config: &GpuConfig,
     meter_config: MeterConfig,
 ) -> Result<(GpuEnergyModel, Vec<Observation>)> {
+    let _sp = ei_telemetry::span(ei_telemetry::SpanKind::Fit, &config.name);
+    ei_telemetry::counter_add("extract.fit_campaigns", 1);
     let mut sim = GpuSim::new(config.clone());
     let min_span_cfg = meter_config.update_period.as_seconds() * 4.0;
     let meter = PowerMeter::new(meter_config);

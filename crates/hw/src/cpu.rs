@@ -141,7 +141,14 @@ impl Core {
         let dt = self.core_type.exec_time(work, &opp).as_seconds();
         self.busy_until = start + dt;
         self.busy_time += dt;
-        self.energy += opp.active_power.over(TimeSpan::seconds(dt));
+        let e = opp.active_power.over(TimeSpan::seconds(dt));
+        self.energy += e;
+        ei_telemetry::counter_add("hw.cpu.tasks", 1);
+        ei_telemetry::observe(
+            "hw.cpu.task_energy_j",
+            &ei_telemetry::ENERGY_J,
+            e.as_joules(),
+        );
         TimeSpan::seconds(self.busy_until)
     }
 

@@ -244,6 +244,7 @@ impl GpuSim {
         self.allocated += bytes;
         let id = BufferId(self.next_buffer);
         self.next_buffer += 1;
+        ei_telemetry::observe_ticks("hw.gpu.alloc_bytes", &ei_telemetry::BYTES, bytes);
         Some(id)
     }
 
@@ -353,6 +354,13 @@ impl GpuSim {
         self.energy += energy;
         let warmup = self.config.droop_warmup.as_seconds().max(1e-9);
         self.warmth = (self.warmth + duration.as_seconds() / warmup).min(1.0);
+
+        ei_telemetry::counter_add("hw.gpu.kernel_launches", 1);
+        ei_telemetry::observe(
+            "hw.gpu.kernel_energy_j",
+            &ei_telemetry::ENERGY_J,
+            energy.as_joules(),
+        );
 
         KernelReport {
             energy,

@@ -106,8 +106,10 @@ impl PowerMeter {
         let mut st = self.inner.lock();
         let period = self.config.update_period.as_seconds();
         if period > 0.0 && device_time.as_seconds() - st.last_update < period {
+            ei_telemetry::counter_add("hw.meter.stale_reads", 1);
             return st.last_reading;
         }
+        ei_telemetry::counter_add("hw.meter.reads", 1);
         // Noise perturbs each *increment* (the counter integrates noisy
         // power samples); the cumulative value stays within the noise band.
         let delta = (true_energy.as_joules() - st.last_true).max(0.0);
@@ -128,6 +130,11 @@ impl PowerMeter {
         let reading = Energy(quantized.max(st.last_reading.as_joules()));
         st.last_reading = reading;
         st.last_update = device_time.as_seconds();
+        ei_telemetry::observe(
+            "hw.meter.reading_j",
+            &ei_telemetry::ENERGY_J,
+            reading.as_joules(),
+        );
         reading
     }
 

@@ -137,6 +137,13 @@ impl NicSim {
         self.bytes += bytes;
         self.last_activity = now_s + tx_time;
         self.energy += e;
+        ei_telemetry::counter_add("hw.nic.transfers", 1);
+        ei_telemetry::observe_ticks("hw.nic.transfer_bytes", &ei_telemetry::BYTES, bytes);
+        ei_telemetry::observe(
+            "hw.nic.transfer_energy_j",
+            &ei_telemetry::ENERGY_J,
+            e.as_joules(),
+        );
         e
     }
 }

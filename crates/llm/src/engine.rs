@@ -227,6 +227,9 @@ impl Gpt2Engine {
             prompt_len + gen_len <= self.config.max_seq,
             "sequence exceeds the model's context window"
         );
+        let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Generate, &self.config.name);
+        sp.add_items(gen_len);
+        ei_telemetry::counter_add("llm.generated_tokens", gen_len);
         let e0 = self.gpu.energy();
         let t0 = self.gpu.counters().elapsed;
         let c0 = self.gpu.counters();
@@ -252,6 +255,7 @@ impl Gpt2Engine {
         }
 
         let c1 = self.gpu.counters();
+        sp.record_energy((self.gpu.energy() - e0).as_joules());
         GenerationReport {
             prompt_len,
             gen_len,

@@ -144,6 +144,16 @@ pub enum Policy {
     EnergyInterface,
 }
 
+impl Policy {
+    /// Stable lowercase name, used in telemetry span paths.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Policy::CpuRequestsOnly => "cpu_requests_only",
+            Policy::EnergyInterface => "energy_interface",
+        }
+    }
+}
+
 /// Result of placing a pod set.
 #[derive(Debug, Clone)]
 pub struct PlacementReport {
@@ -162,6 +172,9 @@ pub struct PlacementReport {
 /// shapes, so after the first pod of each shape the per-node ranking is
 /// answered from the cache instead of re-running the interpreter.
 pub fn place(cluster: &Cluster, apps: &[AppSpec], policy: Policy) -> PlacementReport {
+    let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Placement, policy.as_str());
+    sp.add_items(apps.len() as u64);
+    ei_telemetry::counter_add("sched.placed_apps", apps.len() as u64);
     let mut free: Vec<f64> = cluster.nodes.iter().map(|(_, s)| *s).collect();
     let mut energy = Energy::ZERO;
     let mut assignments = Vec::new();
@@ -214,6 +227,7 @@ pub fn place(cluster: &Cluster, apps: &[AppSpec], policy: Policy) -> PlacementRe
             None => unplaced += 1,
         }
     }
+    sp.record_energy(energy.as_joules());
     PlacementReport {
         energy,
         assignments,

@@ -161,6 +161,9 @@ fn best_placement<'a>(
 /// quantum, the core runs flat-out for the whole quantum and the remainder
 /// becomes backlog for the next quantum (a deadline miss).
 pub fn run_schedule(task: &TaskSpec, predictor: Predictor, cfg: &SchedConfig) -> SchedReport {
+    let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Schedule, &task.name);
+    sp.add_items(task.demand.len() as u64);
+    ei_telemetry::counter_add("sched.eas_quanta", task.demand.len() as u64);
     let (big, little) = big_little();
     let cores = [(big, 1usize), (little, 1usize)];
     let q = cfg.quantum.as_seconds();
@@ -218,6 +221,7 @@ pub fn run_schedule(task: &TaskSpec, predictor: Predictor, cfg: &SchedConfig) ->
         }
     }
 
+    sp.record_energy(energy.as_joules());
     SchedReport {
         energy,
         missed_quanta: missed,

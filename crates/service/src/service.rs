@@ -62,12 +62,28 @@ impl MlWebService {
     /// Handles one request; returns its true energy. Requests arrive
     /// `inter_arrival` apart (drives NIC state).
     pub fn handle(&mut self, req: Request, inter_arrival: TimeSpan) -> Energy {
+        let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Request, "handle");
+        sp.add_items(1);
         self.now += inter_arrival;
         let (outcome, mut e) = self.cache.lookup(req.image_id, MAX_RESPONSE_LEN, self.now);
+        ei_telemetry::counter_add(
+            match outcome {
+                CacheOutcome::LocalHit => "service.requests_local_hit",
+                CacheOutcome::RemoteHit => "service.requests_remote_hit",
+                CacheOutcome::Miss => "service.requests_miss",
+            },
+            1,
+        );
         if outcome == CacheOutcome::Miss {
             e += self.cnn.forward(req.image_size, req.image_zeros);
             e += self.cache.insert(req.image_id, MAX_RESPONSE_LEN);
         }
+        sp.record_energy(e.as_joules());
+        ei_telemetry::observe(
+            "service.request_energy_j",
+            &ei_telemetry::ENERGY_J,
+            e.as_joules(),
+        );
         self.log.push((outcome, e));
         e
     }
