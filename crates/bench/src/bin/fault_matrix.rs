@@ -1,0 +1,17 @@
+//! E9: the fault-matrix sweep — serving under injected failures, checked
+//! against fault-conditioned interfaces.
+//!
+//! Besides the rendered table, writes the per-scenario prediction-error
+//! report as JSON to `fault_report.json` (override the path with
+//! `FAULT_REPORT_OUT`; set it empty to skip) so CI can archive it.
+fn main() {
+    let rows = ei_bench::experiments::run_faults();
+    println!("{}", ei_bench::experiments::render_faults(&rows));
+
+    let out = std::env::var("FAULT_REPORT_OUT").unwrap_or_else(|_| "fault_report.json".to_string());
+    if !out.is_empty() {
+        let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+        std::fs::write(&out, json).expect("write fault report");
+        eprintln!("fault report written to {out}");
+    }
+}

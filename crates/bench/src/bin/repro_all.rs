@@ -37,6 +37,10 @@ fn main() {
         "{}",
         ei_bench::experiments::render_composition(&ei_bench::experiments::run_composition())
     );
+    println!(
+        "{}",
+        ei_bench::experiments::render_faults(&ei_bench::experiments::run_faults())
+    );
     println!("{}", ei_bench::ablation::render(&ei_bench::ablation::run()));
     println!("{}", ei_bench::fig1::render(&ei_bench::fig1::run()));
     println!("{}", ei_bench::table1::render(&ei_bench::table1::run()));

@@ -26,13 +26,17 @@
 //! Only successful results are cached: errors are returned but recomputed on
 //! the next call, so a transient failure cannot poison the cache.
 //!
-//! All methods take `&self`; the cache is internally synchronized and can be
-//! shared across the worker threads of
-//! [`monte_carlo_par`](crate::interp::monte_carlo_par) callers.
+//! All methods take `&self`; the cache is internally synchronized
+//! ([`parking_lot::Mutex`], which does not poison — a worker thread that
+//! panics leaves the cache usable for its peers) and can be shared across
+//! the worker threads of [`monte_carlo_par`](crate::interp::monte_carlo_par)
+//! callers.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use ei_telemetry as telemetry;
 use serde::Serialize;
@@ -236,8 +240,8 @@ impl EvalCache {
 
     /// Drops every cached entry (counters are kept).
     pub fn clear(&self) {
-        self.links.lock().unwrap().clear();
-        self.energies.lock().unwrap().clear();
+        self.links.lock().clear();
+        self.energies.lock().clear();
     }
 
     /// Memoized [`link`]: returns the cached composition when the same
@@ -256,13 +260,13 @@ impl EvalCache {
         }
         let key = h.0;
 
-        if let Some(found) = self.links.lock().unwrap().get(&key) {
+        if let Some(found) = self.links.lock().get(&key) {
             self.hit();
             return Ok(Arc::clone(found));
         }
         self.miss();
         let linked = Arc::new(link(upper, providers)?);
-        self.links.lock().unwrap().insert(key, Arc::clone(&linked));
+        self.links.lock().insert(key, Arc::clone(&linked));
         Ok(linked)
     }
 
@@ -282,13 +286,13 @@ impl EvalCache {
         }
         let key = h.0;
 
-        if let Some(found) = self.links.lock().unwrap().get(&key) {
+        if let Some(found) = self.links.lock().get(&key) {
             self.hit();
             return Ok(Arc::clone(found));
         }
         self.miss();
         let linked = Arc::new(link_closure(upper, registry)?);
-        self.links.lock().unwrap().insert(key, Arc::clone(&linked));
+        self.links.lock().insert(key, Arc::clone(&linked));
         Ok(linked)
     }
 
@@ -317,7 +321,7 @@ impl EvalCache {
         let key = h.0;
 
         let mut sp = telemetry::span(SpanKind::CacheLookup, func);
-        if let Some(found) = self.energies.lock().unwrap().get(&key) {
+        if let Some(found) = self.energies.lock().get(&key) {
             self.hit();
             sp.record_energy(found.as_joules());
             return Ok(*found);
@@ -325,7 +329,7 @@ impl EvalCache {
         self.miss();
         let e = evaluate_energy(iface, func, args, env, seed, config)?;
         sp.record_energy(e.as_joules());
-        self.energies.lock().unwrap().insert(key, e);
+        self.energies.lock().insert(key, e);
         Ok(e)
     }
 
@@ -350,7 +354,7 @@ impl EvalCache {
         let key = h.0;
 
         let mut sp = telemetry::span(SpanKind::CacheLookup, func);
-        if let Some(found) = self.energies.lock().unwrap().get(&key) {
+        if let Some(found) = self.energies.lock().get(&key) {
             self.hit();
             sp.record_energy(found.as_joules());
             return Ok(*found);
@@ -358,7 +362,7 @@ impl EvalCache {
         self.miss();
         let e = expected_energy(iface, func, args, config)?;
         sp.record_energy(e.as_joules());
-        self.energies.lock().unwrap().insert(key, e);
+        self.energies.lock().insert(key, e);
         Ok(e)
     }
 }
@@ -412,6 +416,34 @@ mod tests {
         let direct = expected_energy(&iface, "cost", &args, &cfg).unwrap();
         assert_eq!(cold, warm);
         assert_eq!(cold, direct);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn panicking_worker_does_not_poison_the_cache() {
+        // Regression: with std::sync::Mutex + .lock().unwrap(), a worker
+        // thread dying while it held (or after having taken) the lock
+        // poisoned the cache and every later query panicked. parking_lot
+        // mutexes do not poison.
+        let cache = Arc::new(EvalCache::new());
+        let cfg = EvalConfig::default();
+
+        let c = Arc::clone(&cache);
+        let worker = std::thread::spawn(move || {
+            let iface = toy();
+            c.expected_energy_cached(&iface, "cost", &[Value::Num(2.0)], &EvalConfig::default())
+                .unwrap();
+            panic!("worker dies mid-campaign");
+        });
+        assert!(worker.join().is_err(), "worker must have panicked");
+
+        // Survivors keep hitting the shared cache.
+        let iface = toy();
+        let warm = cache
+            .expected_energy_cached(&iface, "cost", &[Value::Num(2.0)], &cfg)
+            .unwrap();
+        let direct = expected_energy(&iface, "cost", &[Value::Num(2.0)], &cfg).unwrap();
+        assert_eq!(warm, direct);
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
 

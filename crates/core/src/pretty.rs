@@ -223,6 +223,28 @@ fn fmt_num(n: f64) -> String {
     format!("{n}")
 }
 
+/// Formats a finite float as an EIL numeral that the lexer round-trips
+/// bit-exactly, picking whichever of plain and exponent notation is
+/// shorter.
+///
+/// Splicing calibration constants into generated EIL source with `{}`
+/// spells out every digit of tiny magnitudes (`1.2e-7` becomes
+/// `0.00000012`, and denormal-scale coefficients run to hundreds of
+/// digits), bloating interfaces and risking precision-related drift in
+/// hand edits. `{:e}` is the shortest round-trip form in the exponent
+/// notation the lexer already accepts. Negative values print with a
+/// leading `-`, which parses via unary minus in expression position.
+pub fn fmt_eil_num(v: f64) -> String {
+    assert!(v.is_finite(), "EIL numerals must be finite, got {v}");
+    let plain = format!("{v}");
+    let exp = format!("{v:e}");
+    if exp.len() < plain.len() {
+        exp
+    } else {
+        plain
+    }
+}
+
 fn quote(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -357,6 +379,50 @@ mod tests {
         let printed = print_interface(&iface);
         let reparsed = parse(&printed).unwrap();
         assert_eq!(iface, reparsed);
+    }
+
+    #[test]
+    fn fmt_eil_num_roundtrips_through_the_lexer() {
+        // Regression: scientific-notation-sized calibration constants
+        // spliced into generated EIL must lex back to the exact same f64.
+        let cases = [
+            0.0,
+            1.0,
+            0.25,
+            1.2e-7,
+            6.125e-5,
+            4.0e-9,
+            2.5e-321, // denormal: Display would print >300 digits
+            9.87654321e12,
+            1e300,
+            f64::MIN_POSITIVE,
+        ];
+        for &v in &cases {
+            let text = fmt_eil_num(v);
+            assert!(
+                text.len() < 32,
+                "numeral for {v} is bloated: {text:?} ({} chars)",
+                text.len()
+            );
+            let src = format!("interface n {{ fn f() {{ return {text} J; }} }}");
+            let iface = parse(&src).unwrap_or_else(|e| panic!("{text:?} did not parse: {e}"));
+            match crate::interp::evaluate_energy(
+                &iface,
+                "f",
+                &[],
+                &crate::ecv::EcvEnv::default(),
+                0,
+                &crate::interp::EvalConfig::default(),
+            ) {
+                Ok(e) => assert_eq!(e.as_joules().to_bits(), v.to_bits(), "for {text:?}"),
+                Err(e) => panic!("{text:?} did not evaluate: {e}"),
+            }
+        }
+        // Negative constants render with a unary minus that still parses
+        // in expression position.
+        let text = fmt_eil_num(-3.4e-9);
+        let src = format!("interface n {{ fn f() {{ return {text} J; }} }}");
+        parse(&src).unwrap_or_else(|e| panic!("{text:?} did not parse: {e}"));
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! Deterministic fault injection for the simulated hardware substrate.
+//!
+//! Production serving tiers do not run on healthy hardware: GPUs brown
+//! out under power caps and lose SMs, NICs drop packets and develop
+//! latency spikes, remote cache nodes die, and energy meters stop
+//! updating under load (the RAPL-overhead literature is blunt about the
+//! last one). A reproduction that claims its energy interfaces "stay
+//! predictive as conditions change" needs those conditions to actually
+//! change — under control, and deterministically, so every faulted run
+//! is byte-identical across repeats and thread counts.
+//!
+//! A [`FaultPlan`] is a seed plus a list of [`FaultWindow`]s on the
+//! *logical* service clock (the same `TimeSpan` the service advances per
+//! request; no wall time anywhere). Substrates never look at the plan
+//! directly: the serving frontend resolves the plan into a [`FaultState`]
+//! at each request's arrival time and pushes it into the simulators
+//! ([`GpuSim::set_fault`](crate::gpu::GpuSim::set_fault),
+//! [`NicSim::set_fault`](crate::nic::NicSim::set_fault),
+//! [`PowerMeter::set_dropout`](crate::meter::PowerMeter::set_dropout)).
+//! The cluster scheduler consumes the same plan format for node death
+//! (`Fault::NodeDown`).
+
+use serde::{Deserialize, Serialize};
+
+use ei_core::units::TimeSpan;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// GPU clock brownout plus SM loss: sustained throughput is scaled by
+    /// `derate` (0 < derate <= 1) and a `sm_loss` fraction of SMs is
+    /// offlined. Dynamic energy per event is unchanged; kernels take
+    /// longer, so static energy per kernel grows — the physical signature
+    /// of a browned-out part.
+    GpuBrownout {
+        /// Throughput derate factor, `(0, 1]`; 1.0 is healthy.
+        derate: f64,
+        /// Fraction of SMs lost, `[0, 1)`; 0.0 is healthy.
+        sm_loss: f64,
+    },
+    /// NIC degradation: each packet is independently lost (and
+    /// retransmitted) with probability `loss`, and every transfer's
+    /// completion latency grows by `latency`.
+    NicDegraded {
+        /// Per-packet loss probability, `[0, 1)`.
+        loss: f64,
+        /// Added completion latency per transfer.
+        latency: TimeSpan,
+    },
+    /// The remote cache node is dead: remote lookups cannot be served and
+    /// remote inserts are dropped.
+    CacheNodeDown,
+    /// The energy meter stops updating: reads return the stale counter.
+    MeterDropout,
+    /// Cluster-level node death (consumed by the scheduler, ignored by
+    /// the single-node serving substrates).
+    NodeDown {
+        /// Index of the dead node in the cluster's node list.
+        node: usize,
+    },
+}
+
+/// A fault active over a half-open window `[from, until)` of the logical
+/// service clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Activation time (inclusive).
+    pub from: TimeSpan,
+    /// Deactivation time (exclusive).
+    pub until: TimeSpan,
+    /// The fault injected during the window.
+    pub fault: Fault,
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// The `seed` feeds every stochastic fault process (currently the NIC
+/// packet-loss draws); the windows drive everything else. Two runs with
+/// the same plan and workload are byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for stochastic fault processes.
+    pub seed: u64,
+    /// The schedule.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the healthy baseline).
+    pub fn healthy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Builder: adds a fault window.
+    pub fn window(mut self, from: TimeSpan, until: TimeSpan, fault: Fault) -> Self {
+        self.windows.push(FaultWindow { from, until, fault });
+        self
+    }
+
+    /// True when no window ever activates.
+    pub fn is_healthy(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Resolves the aggregate hardware fault state at logical time `now`.
+    ///
+    /// Overlapping windows compose: derates multiply, SM/packet losses
+    /// saturate at the worst active value, latencies add, and any active
+    /// `CacheNodeDown`/`MeterDropout` wins.
+    pub fn state_at(&self, now: TimeSpan) -> FaultState {
+        let mut st = FaultState::healthy();
+        for w in &self.windows {
+            if now.as_seconds() < w.from.as_seconds() || now.as_seconds() >= w.until.as_seconds() {
+                continue;
+            }
+            match &w.fault {
+                Fault::GpuBrownout { derate, sm_loss } => {
+                    st.gpu_derate *= derate.clamp(1e-3, 1.0);
+                    st.gpu_sm_loss = st.gpu_sm_loss.max(sm_loss.clamp(0.0, 0.95));
+                }
+                Fault::NicDegraded { loss, latency } => {
+                    st.nic_loss = st.nic_loss.max(loss.clamp(0.0, 0.95));
+                    st.nic_latency += *latency;
+                }
+                Fault::CacheNodeDown => st.remote_alive = false,
+                Fault::MeterDropout => st.meter_dropout = true,
+                Fault::NodeDown { .. } => {}
+            }
+        }
+        st
+    }
+
+    /// Cluster nodes dead at logical time `now` (sorted, deduplicated).
+    pub fn nodes_down_at(&self, now: TimeSpan) -> Vec<usize> {
+        let mut down: Vec<usize> = self
+            .windows
+            .iter()
+            .filter(|w| {
+                now.as_seconds() >= w.from.as_seconds() && now.as_seconds() < w.until.as_seconds()
+            })
+            .filter_map(|w| match w.fault {
+                Fault::NodeDown { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        down.sort_unstable();
+        down.dedup();
+        down
+    }
+
+    /// The worst GPU brownout anywhere in the plan, as `(derate,
+    /// sm_loss)`, or `None` if the plan never browns the GPU out.
+    /// Resolved at each window's activation instant so overlapping
+    /// brownouts compose as [`Self::state_at`] composes them. Used to
+    /// calibrate the browned-leaf constants of a fault-conditioned
+    /// interface; plans whose brownout severity varies over time are
+    /// summarized by their worst case.
+    pub fn worst_brownout(&self) -> Option<(f64, f64)> {
+        let mut worst: Option<(f64, f64)> = None;
+        for w in &self.windows {
+            let st = self.state_at(w.from);
+            if st.gpu_browned() {
+                let e = worst.get_or_insert((1.0, 0.0));
+                e.0 = e.0.min(st.gpu_derate);
+                e.1 = e.1.max(st.gpu_sm_loss);
+            }
+        }
+        worst
+    }
+
+    /// Fraction of `[0, horizon)` during which `pred` holds for the
+    /// resolved state, sampled at `step` granularity. Used to turn a plan
+    /// into fault-conditioned ECV probabilities (e.g. `p(remote_alive)`).
+    pub fn fraction_of_time(
+        &self,
+        horizon: TimeSpan,
+        step: TimeSpan,
+        mut pred: impl FnMut(&FaultState) -> bool,
+    ) -> f64 {
+        let step_s = step.as_seconds().max(1e-9);
+        let n = (horizon.as_seconds() / step_s).ceil().max(1.0) as u64;
+        let mut holds = 0u64;
+        for k in 0..n {
+            let t = TimeSpan::seconds(k as f64 * step_s);
+            if pred(&self.state_at(t)) {
+                holds += 1;
+            }
+        }
+        holds as f64 / n as f64
+    }
+}
+
+/// The aggregate hardware fault state at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultState {
+    /// GPU throughput derate factor; 1.0 is healthy.
+    pub gpu_derate: f64,
+    /// Fraction of SMs offlined; 0.0 is healthy.
+    pub gpu_sm_loss: f64,
+    /// NIC per-packet loss probability; 0.0 is healthy.
+    pub nic_loss: f64,
+    /// Added NIC completion latency per transfer.
+    pub nic_latency: TimeSpan,
+    /// Whether the remote cache node is reachable.
+    pub remote_alive: bool,
+    /// Whether the energy meter has stopped updating.
+    pub meter_dropout: bool,
+}
+
+impl FaultState {
+    /// The healthy state.
+    pub fn healthy() -> Self {
+        FaultState {
+            gpu_derate: 1.0,
+            gpu_sm_loss: 0.0,
+            nic_loss: 0.0,
+            nic_latency: TimeSpan::ZERO,
+            remote_alive: true,
+            meter_dropout: false,
+        }
+    }
+
+    /// True when every field is at its healthy value.
+    pub fn is_healthy(&self) -> bool {
+        self.gpu_derate == 1.0
+            && self.gpu_sm_loss == 0.0
+            && self.nic_loss == 0.0
+            && self.nic_latency == TimeSpan::ZERO
+            && self.remote_alive
+            && !self.meter_dropout
+    }
+
+    /// True when the GPU is browned out at all.
+    pub fn gpu_browned(&self) -> bool {
+        self.gpu_derate < 1.0 || self.gpu_sm_loss > 0.0
+    }
+}
+
+/// One named scenario of the default fault matrix.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Stable scenario name (used in reports and telemetry).
+    pub name: &'static str,
+    /// The plan driving the scenario.
+    pub plan: FaultPlan,
+}
+
+/// The default fault matrix swept by the E8 experiment: every single-fault
+/// scenario plus a combined storm, over a `horizon`-long workload. The
+/// brownout scenario derates hard enough (0.45) that the serving tier's
+/// shed-to-small-CNN threshold engages.
+pub fn standard_matrix(seed: u64, horizon: TimeSpan) -> Vec<FaultScenario> {
+    let h = horizon.as_seconds();
+    let at = |f: f64| TimeSpan::seconds(h * f);
+    vec![
+        FaultScenario {
+            name: "healthy",
+            plan: FaultPlan::healthy(seed),
+        },
+        FaultScenario {
+            name: "gpu_brownout",
+            plan: FaultPlan::healthy(seed).window(
+                at(0.25),
+                at(0.75),
+                Fault::GpuBrownout {
+                    derate: 0.45,
+                    sm_loss: 0.25,
+                },
+            ),
+        },
+        FaultScenario {
+            name: "nic_flaky",
+            plan: FaultPlan::healthy(seed).window(
+                at(0.2),
+                at(0.8),
+                Fault::NicDegraded {
+                    loss: 0.3,
+                    latency: TimeSpan::millis(40.0),
+                },
+            ),
+        },
+        FaultScenario {
+            name: "remote_down",
+            plan: FaultPlan::healthy(seed).window(at(0.3), at(0.9), Fault::CacheNodeDown),
+        },
+        FaultScenario {
+            name: "meter_dropout",
+            plan: FaultPlan::healthy(seed).window(at(0.1), at(0.6), Fault::MeterDropout),
+        },
+        FaultScenario {
+            name: "combined_storm",
+            plan: FaultPlan::healthy(seed)
+                .window(
+                    at(0.2),
+                    at(0.6),
+                    Fault::GpuBrownout {
+                        derate: 0.45,
+                        sm_loss: 0.25,
+                    },
+                )
+                .window(
+                    at(0.4),
+                    at(0.8),
+                    Fault::NicDegraded {
+                        loss: 0.2,
+                        latency: TimeSpan::millis(40.0),
+                    },
+                )
+                .window(at(0.5), at(0.9), Fault::CacheNodeDown)
+                .window(at(0.3), at(0.7), Fault::MeterDropout),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_resolves_healthy_everywhere() {
+        let plan = FaultPlan::healthy(7);
+        for k in 0..20 {
+            assert!(plan.state_at(TimeSpan::seconds(k as f64)).is_healthy());
+        }
+    }
+
+    #[test]
+    fn windows_are_half_open_and_compose() {
+        let plan = FaultPlan::healthy(1)
+            .window(
+                TimeSpan::seconds(1.0),
+                TimeSpan::seconds(2.0),
+                Fault::GpuBrownout {
+                    derate: 0.5,
+                    sm_loss: 0.1,
+                },
+            )
+            .window(
+                TimeSpan::seconds(1.5),
+                TimeSpan::seconds(3.0),
+                Fault::GpuBrownout {
+                    derate: 0.8,
+                    sm_loss: 0.3,
+                },
+            );
+        assert!(plan.state_at(TimeSpan::seconds(0.9)).is_healthy());
+        let solo = plan.state_at(TimeSpan::seconds(1.0));
+        assert_eq!(solo.gpu_derate, 0.5);
+        let both = plan.state_at(TimeSpan::seconds(1.5));
+        assert!((both.gpu_derate - 0.4).abs() < 1e-12, "derates multiply");
+        assert_eq!(both.gpu_sm_loss, 0.3, "sm loss saturates at the worst");
+        // `until` is exclusive.
+        assert_eq!(plan.state_at(TimeSpan::seconds(2.0)).gpu_derate, 0.8);
+        assert!(plan.state_at(TimeSpan::seconds(3.0)).is_healthy());
+    }
+
+    #[test]
+    fn worst_brownout_summarizes_the_plan() {
+        assert_eq!(FaultPlan::healthy(1).worst_brownout(), None);
+        let matrix = standard_matrix(1, TimeSpan::seconds(10.0));
+        for sc in &matrix {
+            let has_brownout = sc
+                .plan
+                .windows
+                .iter()
+                .any(|w| matches!(w.fault, Fault::GpuBrownout { .. }));
+            assert_eq!(
+                sc.plan.worst_brownout().is_some(),
+                has_brownout,
+                "{}",
+                sc.name
+            );
+        }
+        let (derate, sm) = matrix
+            .iter()
+            .find(|s| s.name == "gpu_brownout")
+            .unwrap()
+            .plan
+            .worst_brownout()
+            .unwrap();
+        assert_eq!((derate, sm), (0.45, 0.25));
+    }
+
+    #[test]
+    fn node_death_is_scheduler_only() {
+        let plan = FaultPlan::healthy(1).window(
+            TimeSpan::ZERO,
+            TimeSpan::seconds(10.0),
+            Fault::NodeDown { node: 3 },
+        );
+        assert!(plan.state_at(TimeSpan::seconds(1.0)).is_healthy());
+        assert_eq!(plan.nodes_down_at(TimeSpan::seconds(1.0)), vec![3]);
+        assert!(plan.nodes_down_at(TimeSpan::seconds(10.0)).is_empty());
+    }
+
+    #[test]
+    fn fraction_of_time_matches_window_share() {
+        let plan = FaultPlan::healthy(1).window(
+            TimeSpan::seconds(2.0),
+            TimeSpan::seconds(4.0),
+            Fault::CacheNodeDown,
+        );
+        let dead = plan.fraction_of_time(TimeSpan::seconds(10.0), TimeSpan::millis(10.0), |st| {
+            !st.remote_alive
+        });
+        assert!((dead - 0.2).abs() < 0.01, "dead {dead}");
+    }
+
+    #[test]
+    fn standard_matrix_covers_every_fault_kind() {
+        let matrix = standard_matrix(42, TimeSpan::seconds(8.0));
+        assert_eq!(matrix.len(), 6);
+        assert!(matrix[0].plan.is_healthy());
+        let names: Vec<&str> = matrix.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"combined_storm"));
+        // Every non-healthy scenario actually perturbs the state at the
+        // middle of the horizon.
+        for sc in &matrix[1..] {
+            assert!(
+                !sc.plan.state_at(TimeSpan::seconds(4.0)).is_healthy(),
+                "{} is inert at mid-horizon",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn plans_serialize_round_trip() {
+        let matrix = standard_matrix(9, TimeSpan::seconds(5.0));
+        for sc in &matrix {
+            let json = serde_json::to_string(&sc.plan.to_value()).unwrap();
+            assert!(json.contains("windows"));
+        }
+    }
+}

@@ -201,6 +201,10 @@ pub struct GpuSim {
     allocated: u64,
     /// Thermal state in [0, 1]: rises with busy time, decays over idle.
     warmth: f64,
+    /// Injected clock derate (brownout); 1.0 is healthy.
+    fault_derate: f64,
+    /// Injected fraction of SMs offlined; 0.0 is healthy.
+    fault_sm_loss: f64,
 }
 
 /// Per-kernel execution report.
@@ -228,7 +232,30 @@ impl GpuSim {
             next_buffer: 0,
             allocated: 0,
             warmth: 0.0,
+            fault_derate: 1.0,
+            fault_sm_loss: 0.0,
         }
+    }
+
+    /// Injects a clock brownout / SM-loss fault: sustained throughput is
+    /// scaled by `derate` and a `sm_loss` fraction of SMs is offlined.
+    /// Dynamic energy per event is unchanged; kernels stretch out, so the
+    /// static-power share of each kernel grows. Values are clamped to
+    /// physical ranges.
+    pub fn set_fault(&mut self, derate: f64, sm_loss: f64) {
+        self.fault_derate = derate.clamp(1e-3, 1.0);
+        self.fault_sm_loss = sm_loss.clamp(0.0, 0.95);
+    }
+
+    /// Clears any injected fault (healthy clocks, all SMs online).
+    pub fn clear_fault(&mut self) {
+        self.fault_derate = 1.0;
+        self.fault_sm_loss = 0.0;
+    }
+
+    /// The injected `(derate, sm_loss)` currently active.
+    pub fn active_fault(&self) -> (f64, f64) {
+        (self.fault_derate, self.fault_sm_loss)
     }
 
     /// The device configuration.
@@ -289,12 +316,13 @@ impl GpuSim {
         self.warmth
     }
 
-    /// Resets counters, caches, and thermal state (fresh device).
+    /// Resets counters, caches, thermal state, and faults (fresh device).
     pub fn reset(&mut self) {
         self.l2.reset();
         self.counters = GpuCounters::default();
         self.energy = Energy::ZERO;
         self.warmth = 0.0;
+        self.clear_fault();
     }
 
     /// Executes one kernel and returns its energy/time report.
@@ -332,9 +360,12 @@ impl GpuSim {
 
         // Sustained-load clock droop: throughput (compute and memory)
         // degrades as the part heats up, saturating after the warm-up time.
-        let derate = 1.0 - self.config.boost_droop * self.warmth;
+        // An injected brownout multiplies on top, and SM loss shrinks the
+        // compute (not memory) side.
+        let derate = (1.0 - self.config.boost_droop * self.warmth) * self.fault_derate;
+        let sm_avail = 1.0 - self.fault_sm_loss;
         let compute_time =
-            kernel.flops / (self.config.peak_flops * self.config.efficiency * derate);
+            kernel.flops / (self.config.peak_flops * self.config.efficiency * derate * sm_avail);
         let mem_time = (vram_read + vram_written) as f64 * SECTOR_BYTES as f64
             / (self.config.vram_bandwidth * derate);
         let duration = TimeSpan::seconds(compute_time.max(mem_time).max(2e-6));
@@ -356,6 +387,9 @@ impl GpuSim {
         self.warmth = (self.warmth + duration.as_seconds() / warmup).min(1.0);
 
         ei_telemetry::counter_add("hw.gpu.kernel_launches", 1);
+        if self.fault_derate < 1.0 || self.fault_sm_loss > 0.0 {
+            ei_telemetry::counter_add("hw.gpu.faulted_launches", 1);
+        }
         ei_telemetry::observe(
             "hw.gpu.kernel_energy_j",
             &ei_telemetry::ENERGY_J,
@@ -531,6 +565,60 @@ mod tests {
         g.reset();
         assert_eq!(g.energy(), Energy::ZERO);
         assert_eq!(g.counters(), GpuCounters::default());
+    }
+
+    #[test]
+    fn brownout_stretches_kernels_and_costs_static_energy() {
+        // A memory-heavy kernel far above the duration floor, so the
+        // derate is visible in both time and energy.
+        let k = |g: &mut GpuSim| {
+            let buf = g.alloc(256 << 20).unwrap();
+            let k = KernelDesc::new("copy", 1e3, 256.0 * 1024.0 * 1024.0).access(
+                buf,
+                0,
+                256 << 20,
+                AccessKind::Read,
+                ReuseHint::Streaming,
+            );
+            g.launch(&k)
+        };
+        let mut healthy = sim();
+        let rh = k(&mut healthy);
+        let mut browned = sim();
+        browned.set_fault(0.5, 0.25);
+        let rb = k(&mut browned);
+        assert!(
+            rb.duration.as_seconds() > 1.9 * rh.duration.as_seconds(),
+            "half the clock must take ~twice the time"
+        );
+        assert!(rb.energy > rh.energy, "longer kernel pays more static");
+        assert_eq!(rb.vram_sectors, rh.vram_sectors, "traffic is unchanged");
+        assert_eq!(browned.counters().launches, 1);
+    }
+
+    #[test]
+    fn cleared_fault_restores_healthy_behaviour() {
+        let k = KernelDesc::new("gemm", 1e9, 1e6);
+        let mut a = sim();
+        let mut b = sim();
+        b.set_fault(0.4, 0.5);
+        b.clear_fault();
+        assert_eq!(b.active_fault(), (1.0, 0.0));
+        let ra = a.launch(&k);
+        let rb = b.launch(&k);
+        assert_eq!(ra.energy, rb.energy, "cleared fault must be bit-identical");
+        assert_eq!(ra.duration, rb.duration);
+    }
+
+    #[test]
+    fn sm_loss_slows_compute_bound_kernels() {
+        let k = KernelDesc::new("gemm", 1e12, 1e6);
+        let mut healthy = sim();
+        let mut lossy = sim();
+        lossy.set_fault(1.0, 0.5);
+        let rh = healthy.launch(&k);
+        let rl = lossy.launch(&k);
+        assert!(rl.duration.as_seconds() > 1.9 * rh.duration.as_seconds());
     }
 
     #[test]

@@ -14,11 +14,13 @@
 
 pub mod cache;
 pub mod cpu;
+pub mod faults;
 pub mod gpu;
 pub mod interfaces;
 pub mod meter;
 pub mod nic;
 
 pub use cache::{AccessKind, BufferId, ReuseHint};
+pub use faults::{standard_matrix, Fault, FaultPlan, FaultScenario, FaultState, FaultWindow};
 pub use gpu::{rtx3070, rtx4090, GpuConfig, GpuSim, KernelDesc};
 pub use meter::{MeterConfig, PowerMeter};

@@ -81,6 +81,8 @@ struct MeterState {
     last_true: f64,
     /// Accumulated noisy (unquantized) counter value.
     accumulated: f64,
+    /// Injected dropout: the counter has stopped updating entirely.
+    dropout: bool,
 }
 
 impl PowerMeter {
@@ -95,17 +97,42 @@ impl PowerMeter {
                 last_update: f64::NEG_INFINITY,
                 last_true: 0.0,
                 accumulated: 0.0,
+                dropout: false,
             }),
         }
+    }
+
+    /// Injects (or clears) a meter dropout: while active, the counter
+    /// stops updating and every read returns the last exposed value —
+    /// the real-meter failure mode the RAPL-overhead literature reports
+    /// under load.
+    pub fn set_dropout(&self, on: bool) {
+        self.inner.lock().dropout = on;
+    }
+
+    /// Whether a dropout fault is currently injected.
+    pub fn dropout(&self) -> bool {
+        self.inner.lock().dropout
     }
 
     /// Reads the counter: `true_energy` is the device's ground truth and
     /// `device_time` its elapsed time. Returns the quantized, noisy,
     /// rate-limited reading — monotone like a real energy counter.
     pub fn read(&self, true_energy: Energy, device_time: TimeSpan) -> Energy {
+        self.read_inner(true_energy, device_time, false)
+    }
+
+    /// Reads the counter, optionally forcing an update even inside the
+    /// rate-limit window (used to close measurement intervals). Dropout
+    /// still wins over `force`: a dead meter is dead.
+    fn read_inner(&self, true_energy: Energy, device_time: TimeSpan, force: bool) -> Energy {
         let mut st = self.inner.lock();
+        if st.dropout {
+            ei_telemetry::counter_add("hw.meter.dropout_reads", 1);
+            return st.last_reading;
+        }
         let period = self.config.update_period.as_seconds();
-        if period > 0.0 && device_time.as_seconds() - st.last_update < period {
+        if !force && period > 0.0 && device_time.as_seconds() - st.last_update < period {
             ei_telemetry::counter_add("hw.meter.stale_reads", 1);
             return st.last_reading;
         }
@@ -141,14 +168,19 @@ impl PowerMeter {
     /// Convenience: measured energy of an interval, from two reads.
     ///
     /// `before`/`after` are `(true_energy, device_time)` pairs taken around
-    /// the workload.
+    /// the workload. The closing read forces a counter update: without
+    /// that, an interval shorter than the meter's `update_period` would be
+    /// served a stale second reading and silently measure ~zero (the
+    /// classic short-workload RAPL/NVML footgun). A dropped-out meter
+    /// still returns zero — staleness from a dead counter is surfaced via
+    /// [`Self::dropout`], not hidden by a forced update.
     pub fn measure_interval(
         &self,
         before: (Energy, TimeSpan),
         after: (Energy, TimeSpan),
     ) -> Energy {
         let a = self.read(before.0, before.1);
-        let b = self.read(after.0, after.1);
+        let b = self.read_inner(after.0, after.1, true);
         b - a
     }
 }
@@ -216,6 +248,49 @@ mod tests {
             assert!(e >= prev);
             prev = e;
         }
+    }
+
+    #[test]
+    fn interval_inside_update_period_is_not_zero() {
+        // Regression: both reads land in the same 10 ms update period; the
+        // closing read used to be served stale and the interval silently
+        // measured ~0 J even though the device burned 2 J.
+        let mut cfg = MeterConfig::nvml();
+        cfg.noise = 0.0;
+        let m = PowerMeter::new(cfg);
+        // Prime the counter so the opening read is an ordinary update.
+        m.read(Energy::joules(1.0), TimeSpan::seconds(0.5));
+        let e = m.measure_interval(
+            (Energy::joules(5.0), TimeSpan::seconds(1.0)),
+            (Energy::joules(7.0), TimeSpan::seconds(1.005)),
+        );
+        assert!(
+            (e.as_joules() - 2.0).abs() < 2e-3,
+            "interval at update_period scale measured {e}, want ~2 J"
+        );
+    }
+
+    #[test]
+    fn dropout_freezes_the_counter() {
+        let mut cfg = MeterConfig::nvml();
+        cfg.noise = 0.0;
+        let m = PowerMeter::new(cfg);
+        let e1 = m.read(Energy::joules(1.0), TimeSpan::seconds(1.0));
+        m.set_dropout(true);
+        assert!(m.dropout());
+        // The device keeps burning energy; the dead meter does not move,
+        // even for a forced interval-closing read.
+        let e2 = m.read(Energy::joules(5.0), TimeSpan::seconds(2.0));
+        assert_eq!(e1, e2);
+        let interval = m.measure_interval(
+            (Energy::joules(6.0), TimeSpan::seconds(3.0)),
+            (Energy::joules(9.0), TimeSpan::seconds(4.0)),
+        );
+        assert_eq!(interval.as_joules(), 0.0);
+        // Recovery: the counter resumes and stays monotone.
+        m.set_dropout(false);
+        let e3 = m.read(Energy::joules(9.0), TimeSpan::seconds(5.0));
+        assert!(e3 > e2);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! after a configurable idle window the radio sleeps, and the next packet
 //! pays a wake-up energy.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use ei_core::units::{Energy, Power, TimeSpan};
@@ -52,6 +54,10 @@ pub fn wifi_radio() -> NicConfig {
     }
 }
 
+/// Retransmission attempts per packet are bounded (kernel-style backoff
+/// gives up eventually); the residual loss shows up as latency instead.
+const MAX_RETRANSMITS_PER_PACKET: u32 = 8;
+
 /// NIC simulator state.
 #[derive(Debug, Clone)]
 pub struct NicSim {
@@ -63,6 +69,14 @@ pub struct NicSim {
     packets: u64,
     bytes: u64,
     wakeups: u64,
+    /// Injected per-packet loss probability; 0.0 is healthy.
+    fault_loss: f64,
+    /// Injected completion-latency spike per transfer.
+    fault_latency: TimeSpan,
+    /// Seeded RNG for loss draws; consumed only while a fault is active,
+    /// so healthy runs are bit-identical to pre-fault builds.
+    fault_rng: StdRng,
+    retransmits: u64,
 }
 
 impl NicSim {
@@ -77,7 +91,37 @@ impl NicSim {
             packets: 0,
             bytes: 0,
             wakeups: 0,
+            fault_loss: 0.0,
+            fault_latency: TimeSpan::ZERO,
+            fault_rng: StdRng::seed_from_u64(0),
+            retransmits: 0,
         }
+    }
+
+    /// Reseeds the fault process (call once per run with the
+    /// [`FaultPlan`](crate::faults::FaultPlan) seed for deterministic
+    /// faulted runs).
+    pub fn seed_faults(&mut self, seed: u64) {
+        self.fault_rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Injects a degradation fault: packets are independently lost (and
+    /// retransmitted) with probability `loss`, and every transfer's
+    /// completion latency grows by `latency`.
+    pub fn set_fault(&mut self, loss: f64, latency: TimeSpan) {
+        self.fault_loss = loss.clamp(0.0, 0.95);
+        self.fault_latency = latency;
+    }
+
+    /// Clears any injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault_loss = 0.0;
+        self.fault_latency = TimeSpan::ZERO;
+    }
+
+    /// Retransmitted packets so far (0 while healthy).
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
     }
 
     /// The configuration.
@@ -108,6 +152,13 @@ impl NicSim {
     /// instead — it belongs to the interface's idle-state input (§3), not
     /// to any one request.
     pub fn transfer(&mut self, now: TimeSpan, bytes: u64) -> Energy {
+        self.transfer_timed(now, bytes).0
+    }
+
+    /// Like [`Self::transfer`], but also returns the transfer's completion
+    /// latency (transmit time plus retransmissions plus any injected
+    /// latency spike) — what a caller with a request deadline sees.
+    pub fn transfer_timed(&mut self, now: TimeSpan, bytes: u64) -> (Energy, TimeSpan) {
         let now_s = now.as_seconds();
         let mut e = Energy::ZERO;
 
@@ -128,23 +179,44 @@ impl NicSim {
         }
 
         let packets = bytes.div_ceil(1500).max(1);
-        e += self.config.e_packet * packets as f64;
-        e += self.config.e_byte * bytes as f64;
-        let tx_time = bytes as f64 / self.config.bandwidth;
+        // Injected packet loss: each packet independently needs a geometric
+        // number of (bounded) retransmissions, each paying full packet cost
+        // and wire time. The RNG is only consumed while a fault is active.
+        let mut retx = 0u64;
+        if self.fault_loss > 0.0 {
+            for _ in 0..packets {
+                let mut tries = 0;
+                while tries < MAX_RETRANSMITS_PER_PACKET
+                    && self.fault_rng.random::<f64>() < self.fault_loss
+                {
+                    retx += 1;
+                    tries += 1;
+                }
+            }
+        }
+        let retx_bytes = retx * 1500;
+        e += self.config.e_packet * (packets + retx) as f64;
+        e += self.config.e_byte * (bytes + retx_bytes) as f64;
+        let tx_time = (bytes + retx_bytes) as f64 / self.config.bandwidth;
         e += self.config.idle_power.over(TimeSpan::seconds(tx_time));
+        let latency = TimeSpan::seconds(tx_time) + self.fault_latency;
 
-        self.packets += packets;
+        self.packets += packets + retx;
         self.bytes += bytes;
+        self.retransmits += retx;
         self.last_activity = now_s + tx_time;
         self.energy += e;
         ei_telemetry::counter_add("hw.nic.transfers", 1);
+        if retx > 0 {
+            ei_telemetry::counter_add("hw.nic.retransmits", retx);
+        }
         ei_telemetry::observe_ticks("hw.nic.transfer_bytes", &ei_telemetry::BYTES, bytes);
         ei_telemetry::observe(
             "hw.nic.transfer_energy_j",
             &ei_telemetry::ENERGY_J,
             e.as_joules(),
         );
-        e
+        (e, latency)
     }
 }
 
@@ -191,6 +263,45 @@ mod tests {
         // Datacenter NIC never sleeps (infinite window).
         nic.transfer(TimeSpan::seconds(100.0), 10);
         assert_eq!(nic.counters().2, 1, "only the initial wake");
+    }
+
+    #[test]
+    fn packet_loss_costs_retransmits_and_is_deterministic() {
+        let run = || {
+            let mut nic = NicSim::new(datacenter_nic());
+            nic.seed_faults(7);
+            nic.set_fault(0.5, TimeSpan::ZERO);
+            let mut total = Energy::ZERO;
+            for k in 0..50u64 {
+                total += nic.transfer(TimeSpan::millis(k as f64), 15_000);
+            }
+            (total, nic.retransmits())
+        };
+        let (ea, ra) = run();
+        let (eb, rb) = run();
+        assert_eq!(ea, eb, "same seed, same faulted energy");
+        assert_eq!(ra, rb);
+        assert!(ra > 100, "50% loss on 500 packets must retransmit plenty");
+
+        let mut healthy = NicSim::new(datacenter_nic());
+        let mut he = Energy::ZERO;
+        for k in 0..50u64 {
+            he += healthy.transfer(TimeSpan::millis(k as f64), 15_000);
+        }
+        assert!(ea > he, "lossy link must cost more energy");
+        assert_eq!(healthy.retransmits(), 0);
+    }
+
+    #[test]
+    fn latency_spike_shows_in_completion_latency_only() {
+        let mut nic = NicSim::new(datacenter_nic());
+        let (_, base) = nic.transfer_timed(TimeSpan::ZERO, 1500);
+        nic.set_fault(0.0, TimeSpan::millis(40.0));
+        let (_, spiked) = nic.transfer_timed(TimeSpan::millis(1.0), 1500);
+        assert!((spiked.as_seconds() - base.as_seconds() - 0.040).abs() < 1e-9);
+        nic.clear_fault();
+        let (_, cleared) = nic.transfer_timed(TimeSpan::millis(2.0), 1500);
+        assert_eq!(cleared, base);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use ei_core::ecv::EcvEnv;
 use ei_core::interface::Interface;
 use ei_core::interp::EvalConfig;
 use ei_core::parser::parse;
+use ei_core::pretty::fmt_eil_num;
 use ei_core::units::Energy;
 use ei_core::value::Value;
 
@@ -75,10 +76,10 @@ impl NodeType {
             }}
             "#,
             name = self.name,
-            cap = self.mem_capacity,
-            cpu = self.e_cpu.as_joules(),
-            fit = self.e_mem_fit.as_joules(),
-            spill = self.e_mem_spill.as_joules(),
+            cap = fmt_eil_num(self.mem_capacity),
+            cpu = fmt_eil_num(self.e_cpu.as_joules()),
+            fit = fmt_eil_num(self.e_mem_fit.as_joules()),
+            spill = fmt_eil_num(self.e_mem_spill.as_joules()),
         );
         parse(&src).expect("node interface must parse")
     }
@@ -172,6 +173,34 @@ pub struct PlacementReport {
 /// shapes, so after the first pod of each shape the per-node ranking is
 /// answered from the cache instead of re-running the interpreter.
 pub fn place(cluster: &Cluster, apps: &[AppSpec], policy: Policy) -> PlacementReport {
+    place_impl(cluster, apps, policy, &[])
+}
+
+/// Like [`place`], but nodes the fault plan reports dead at `now`
+/// (`Fault::NodeDown` windows) are excluded as candidates under either
+/// policy — the degraded cluster keeps placing on whatever survives, and
+/// pods that fit nowhere else are reported unplaced rather than assigned
+/// to a dead node.
+pub fn place_with_faults(
+    cluster: &Cluster,
+    apps: &[AppSpec],
+    policy: Policy,
+    plan: &ei_hw::faults::FaultPlan,
+    now: ei_core::units::TimeSpan,
+) -> PlacementReport {
+    let down = plan.nodes_down_at(now);
+    if !down.is_empty() {
+        ei_telemetry::counter_add("sched.nodes_down", down.len() as u64);
+    }
+    place_impl(cluster, apps, policy, &down)
+}
+
+fn place_impl(
+    cluster: &Cluster,
+    apps: &[AppSpec],
+    policy: Policy,
+    down: &[usize],
+) -> PlacementReport {
     let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Placement, policy.as_str());
     sp.add_items(apps.len() as u64);
     ei_telemetry::counter_add("sched.placed_apps", apps.len() as u64);
@@ -189,12 +218,12 @@ pub fn place(cluster: &Cluster, apps: &[AppSpec], policy: Policy) -> PlacementRe
     for app in apps {
         let candidate = match policy {
             Policy::CpuRequestsOnly => {
-                (0..cluster.nodes.len()).find(|&i| free[i] >= app.cpu_request)
+                (0..cluster.nodes.len()).find(|&i| !down.contains(&i) && free[i] >= app.cpu_request)
             }
             Policy::EnergyInterface => {
                 let mut best: Option<(usize, Energy)> = None;
                 for i in 0..cluster.nodes.len() {
-                    if free[i] < app.cpu_request {
+                    if down.contains(&i) || free[i] < app.cpu_request {
                         continue;
                     }
                     let e = cache
@@ -340,6 +369,67 @@ mod tests {
         let r = place(&cluster, &pods, Policy::CpuRequestsOnly);
         assert_eq!(r.assignments.len(), 8);
         assert_eq!(r.unplaced, 4);
+    }
+
+    #[test]
+    fn faulted_placement_skips_dead_nodes() {
+        use ei_core::units::TimeSpan;
+        use ei_hw::faults::{Fault, FaultPlan};
+
+        let cluster = Cluster::new(2, 1); // nodes 0,1 compute; node 2 bigmem
+        let pods = mixed_pods(4);
+        let plan = FaultPlan::healthy(7).window(
+            TimeSpan::ZERO,
+            TimeSpan::seconds(10.0),
+            Fault::NodeDown { node: 2 },
+        );
+        for policy in [Policy::CpuRequestsOnly, Policy::EnergyInterface] {
+            // A healthy plan changes nothing.
+            let base = place(&cluster, &pods, policy);
+            let healthy = place_with_faults(
+                &cluster,
+                &pods,
+                policy,
+                &FaultPlan::healthy(7),
+                TimeSpan::seconds(1.0),
+            );
+            assert_eq!(healthy.assignments, base.assignments);
+            assert_eq!(healthy.unplaced, base.unplaced);
+
+            // With bigmem down, nothing lands on it.
+            let faulted = place_with_faults(&cluster, &pods, policy, &plan, TimeSpan::seconds(1.0));
+            assert!(faulted.assignments.iter().all(|(_, n)| n != "bigmem"));
+            assert_eq!(faulted.assignments.len() + faulted.unplaced, pods.len());
+            // Outside the window the node is back.
+            let recovered =
+                place_with_faults(&cluster, &pods, policy, &plan, TimeSpan::seconds(11.0));
+            assert_eq!(recovered.assignments, base.assignments);
+        }
+        // With every node down, everything is unplaced.
+        let all_dead = FaultPlan::healthy(7)
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(10.0),
+                Fault::NodeDown { node: 0 },
+            )
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(10.0),
+                Fault::NodeDown { node: 1 },
+            )
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(10.0),
+                Fault::NodeDown { node: 2 },
+            );
+        let r = place_with_faults(
+            &cluster,
+            &pods,
+            Policy::EnergyInterface,
+            &all_dead,
+            TimeSpan::seconds(1.0),
+        );
+        assert_eq!(r.unplaced, pods.len());
     }
 
     #[test]

@@ -100,6 +100,8 @@ pub struct RequestCache {
     /// `(local hits, remote hits, misses)`.
     counters: (u64, u64, u64),
     energy: Energy,
+    /// Whether the remote cache node is reachable (fault injection).
+    remote_alive: bool,
 }
 
 impl RequestCache {
@@ -118,7 +120,24 @@ impl RequestCache {
             now: TimeSpan::ZERO,
             counters: (0, 0, 0),
             energy: Energy::ZERO,
+            remote_alive: true,
         }
+    }
+
+    /// Marks the remote cache node reachable or dead. While dead, remote
+    /// lookups cannot be served and inserts only land locally.
+    pub fn set_remote_alive(&mut self, alive: bool) {
+        self.remote_alive = alive;
+    }
+
+    /// Whether the remote cache node is currently reachable.
+    pub fn remote_alive(&self) -> bool {
+        self.remote_alive
+    }
+
+    /// Mutable access to the NIC (for fault injection and seeding).
+    pub fn nic_mut(&mut self) -> &mut NicSim {
+        &mut self.nic
     }
 
     /// Looks up `key`, serving `response_len` bytes on a hit. Advances the
@@ -131,7 +150,7 @@ impl RequestCache {
             e += self.energy_model.local_per_byte * response_len as f64;
             self.counters.0 += 1;
             CacheOutcome::LocalHit
-        } else if self.remote.contains_touch(key) {
+        } else if self.remote_alive && self.remote.contains_touch(key) {
             // Request + response over the NIC, then promote locally.
             e += self.nic.transfer(now, 96);
             e += self.nic.transfer(now, response_len);
@@ -147,14 +166,64 @@ impl RequestCache {
         (outcome, e)
     }
 
-    /// Inserts a freshly computed response into both tiers.
+    /// Inserts a freshly computed response into both tiers. While the
+    /// remote node is dead the insert only lands locally (no NIC
+    /// transfer) — the degraded mode sheds the replication write.
     pub fn insert(&mut self, key: u64, response_len: u64) -> Energy {
-        let e = self.energy_model.local_per_byte * response_len as f64
-            + self.nic.transfer(self.now, response_len);
+        let mut e = self.energy_model.local_per_byte * response_len as f64;
         self.local.insert(key);
-        self.remote.insert(key);
+        if self.remote_alive {
+            e += self.nic.transfer(self.now, response_len);
+            self.remote.insert(key);
+        }
         self.energy += e;
         e
+    }
+
+    /// Probes the local tier only: pays the fixed lookup cost, and serves
+    /// `response_len` bytes from local DRAM on a hit. Unlike
+    /// [`Self::lookup`] this does not touch the hit/miss counters — the
+    /// serving frontend that drives the split path keeps its own
+    /// final-path accounting (a request can try several tiers before it
+    /// settles).
+    pub fn lookup_local(&mut self, key: u64, response_len: u64, now: TimeSpan) -> (bool, Energy) {
+        self.now = now;
+        let mut e = self.energy_model.local_lookup;
+        let hit = self.local.contains_touch(key);
+        if hit {
+            e += self.energy_model.local_per_byte * response_len as f64;
+        }
+        self.energy += e;
+        (hit, e)
+    }
+
+    /// One attempt against the remote tier over the NIC. Returns `None`
+    /// when the remote node is dead (nothing was sent); otherwise
+    /// `(hit, energy, completion latency)` — the latency is what a caller
+    /// with a request deadline compares against its timeout. A hit is
+    /// promoted into the local tier. Counters are left to the caller, as
+    /// with [`Self::lookup_local`].
+    pub fn lookup_remote_timed(
+        &mut self,
+        key: u64,
+        response_len: u64,
+        now: TimeSpan,
+    ) -> Option<(bool, Energy, TimeSpan)> {
+        if !self.remote_alive {
+            return None;
+        }
+        self.now = now;
+        // Request packet out, response (if any) back.
+        let (mut e, mut latency) = self.nic.transfer_timed(now, 96);
+        let hit = self.remote.contains_touch(key);
+        if hit {
+            let (e_resp, l_resp) = self.nic.transfer_timed(now, response_len);
+            e += e_resp + self.energy_model.remote_per_byte * response_len as f64;
+            latency += l_resp;
+            self.local.insert(key);
+        }
+        self.energy += e;
+        Some((hit, e, latency))
     }
 
     /// `(local hits, remote hits, misses)` so far.
@@ -234,6 +303,33 @@ mod tests {
         let (_, e_small) = a.lookup(1, 256, TimeSpan::ZERO);
         let (_, e_big) = a.lookup(1, 4096, TimeSpan::ZERO);
         assert!(e_big.as_joules() > 3.0 * e_small.as_joules());
+    }
+
+    #[test]
+    fn dead_remote_node_degrades_to_local_only() {
+        let mut c = cache(2, 64);
+        for k in 0..4 {
+            c.lookup(k, 128, TimeSpan::ZERO);
+            c.insert(k, 128);
+        }
+        c.set_remote_alive(false);
+        assert!(!c.remote_alive());
+        // Key 0 was evicted locally; with the remote node dead the remote
+        // copy is unreachable, so the combined lookup misses.
+        let (o, _) = c.lookup(0, 128, TimeSpan::ZERO);
+        assert_eq!(o, CacheOutcome::Miss);
+        assert!(c.lookup_remote_timed(0, 128, TimeSpan::ZERO).is_none());
+        // Inserts shed the replication write while the node is dead.
+        let e_dead = c.insert(100, 128);
+        c.set_remote_alive(true);
+        let e_alive = c.insert(101, 128);
+        assert!(e_dead < e_alive, "no NIC transfer while dead");
+        // The un-replicated key survives only as long as the local tier
+        // keeps it; the revived remote tier never saw it.
+        c.insert(102, 128); // evicts 100 or 101 from the 2-entry local tier
+        c.insert(103, 128);
+        let (outcome, _) = c.lookup(100, 128, TimeSpan::ZERO);
+        assert_eq!(outcome, CacheOutcome::Miss, "100 was never replicated");
     }
 
     #[test]

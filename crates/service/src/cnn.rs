@@ -22,6 +22,14 @@ pub const N_MLP: u32 = 16;
 /// Embedding width.
 pub const N_EMBEDDING: u64 = 256;
 
+/// Conv blocks of the degraded (load-shed) model served under GPU
+/// brownout: half the full depth, same leaves.
+pub const N_CONV_DEGRADED: u32 = N_CONV / 2;
+/// ReLU blocks of the degraded model.
+pub const N_RELU_DEGRADED: u32 = N_RELU / 2;
+/// MLP blocks of the degraded model.
+pub const N_MLP_DEGRADED: u32 = N_MLP / 2;
+
 /// FLOPs of one conv2d block per non-zero input element.
 pub const CONV_FLOPS_PER_ELEM: f64 = 180.0;
 /// FLOPs of one ReLU block per embedding element.
@@ -57,13 +65,42 @@ impl CnnModel {
         &self.gpu
     }
 
+    /// Mutable access to the device (for fault injection).
+    pub fn gpu_mut(&mut self) -> &mut GpuSim {
+        &mut self.gpu
+    }
+
     /// Runs one forward pass over an image of `image_size` elements of
     /// which `image_zeros` are zero. Returns the true energy consumed.
     pub fn forward(&mut self, image_size: u64, image_zeros: u64) -> Energy {
+        self.forward_blocks(N_CONV, N_RELU, N_MLP, image_size, image_zeros)
+    }
+
+    /// Runs the degraded (half-depth) model: the serving tier sheds to
+    /// this cheaper network when the accelerator browns out, trading
+    /// accuracy for staying within the derated power envelope.
+    pub fn forward_degraded(&mut self, image_size: u64, image_zeros: u64) -> Energy {
+        self.forward_blocks(
+            N_CONV_DEGRADED,
+            N_RELU_DEGRADED,
+            N_MLP_DEGRADED,
+            image_size,
+            image_zeros,
+        )
+    }
+
+    fn forward_blocks(
+        &mut self,
+        n_conv: u32,
+        n_relu: u32,
+        n_mlp: u32,
+        image_size: u64,
+        image_zeros: u64,
+    ) -> Energy {
         let nonzero = image_size.saturating_sub(image_zeros);
         let e0 = self.gpu.energy();
 
-        for i in 0..N_CONV as u64 {
+        for i in 0..n_conv as u64 {
             let flops = CONV_FLOPS_PER_ELEM * nonzero as f64;
             let w_bytes = 1 << 20;
             let k = KernelDesc::new("conv2d", flops, w_bytes as f64 + flops * 0.125)
@@ -83,7 +120,7 @@ impl CnnModel {
                 );
             self.gpu.launch(&k);
         }
-        for _ in 0..N_RELU {
+        for _ in 0..n_relu {
             let flops = RELU_FLOPS_PER_ELEM * N_EMBEDDING as f64;
             let k = KernelDesc::new("relu", flops, N_EMBEDDING as f64 * 2.0).access(
                 self.act,
@@ -94,7 +131,7 @@ impl CnnModel {
             );
             self.gpu.launch(&k);
         }
-        for i in 0..N_MLP as u64 {
+        for i in 0..n_mlp as u64 {
             let w_bytes = 256 * 256 * 2;
             let k = KernelDesc::new("mlp", MLP_FLOPS, w_bytes as f64 + MLP_FLOPS * 0.125)
                 .access(
@@ -251,6 +288,19 @@ mod tests {
         let pred = cal.conv_fixed + cal.conv_per_elem * n as f64;
         let rel = (pred.as_joules() - truth.as_joules()).abs() / truth.as_joules();
         assert!(rel < 0.05, "affine conv model off by {rel}");
+    }
+
+    #[test]
+    fn degraded_model_is_roughly_half_price() {
+        let mut full = model();
+        let mut half = model();
+        let e_full = full.forward(16384, 0);
+        let e_half = half.forward_degraded(16384, 0);
+        let ratio = e_half.as_joules() / e_full.as_joules();
+        assert!(
+            (0.3..0.7).contains(&ratio),
+            "degraded/full ratio {ratio} out of range"
+        );
     }
 
     #[test]

@@ -9,10 +9,15 @@
 
 pub mod cache;
 pub mod cnn;
+pub mod frontend;
 pub mod service;
 
 pub use cache::{CacheEnergy, CacheOutcome, RequestCache};
 pub use cnn::{CnnCalibration, CnnModel};
+pub use frontend::{
+    calibrate_with_fault, fig1_faulted_calibration, fig1_interface_faulted, FaultMixture,
+    FinalPath, FrontendConfig, FrontendStats, ServiceFrontend,
+};
 pub use service::{
     fig1_calibration, fig1_interface, request_stream, MlWebService, Request, MAX_RESPONSE_LEN,
 };

@@ -10,6 +10,7 @@
 
 use ei_core::interface::{InputSpec, Interface};
 use ei_core::parser::parse;
+use ei_core::pretty::fmt_eil_num;
 use ei_core::units::{Calibration, Energy, TimeSpan};
 use ei_hw::gpu::GpuSim;
 use ei_hw::nic::NicSim;
@@ -179,16 +180,16 @@ pub fn fig1_interface(
             }}
         }}
         "#,
-        p_hit = p_request_hit,
-        p_local = p_local_hit,
+        p_hit = fmt_eil_num(p_request_hit),
+        p_local = fmt_eil_num(p_local_hit),
         resp = MAX_RESPONSE_LEN,
-        lookup = cache.local_lookup.as_joules(),
-        local_pb = cache.local_per_byte.as_joules(),
-        remote_pb = cache.remote_per_byte.as_joules() + nic_per_byte.as_joules(),
-        nic_fixed = nic_fixed.as_joules(),
-        nic_pb = nic_per_byte.as_joules(),
-        conv_fixed = cnn.conv_fixed.as_joules(),
-        conv_pe = cnn.conv_per_elem.as_joules(),
+        lookup = fmt_eil_num(cache.local_lookup.as_joules()),
+        local_pb = fmt_eil_num(cache.local_per_byte.as_joules()),
+        remote_pb = fmt_eil_num(cache.remote_per_byte.as_joules() + nic_per_byte.as_joules()),
+        nic_fixed = fmt_eil_num(nic_fixed.as_joules()),
+        nic_pb = fmt_eil_num(nic_per_byte.as_joules()),
+        conv_fixed = fmt_eil_num(cnn.conv_fixed.as_joules()),
+        conv_pe = fmt_eil_num(cnn.conv_per_elem.as_joules()),
     );
     let mut iface = parse(&src).expect("Fig. 1 interface must parse");
     iface.set_input_spec(
@@ -222,7 +223,11 @@ pub fn request_stream(
     let mut out = Vec::with_capacity(n);
     let mut cold_id = 1_000_000u64;
     for _ in 0..n {
-        let image_id = if rng.random::<f64>() < hot_fraction {
+        // One popularity draw per request regardless of the branch taken,
+        // so streams with the same seed stay aligned. An empty hot set
+        // degenerates to all-cold (random_range(0..0) would panic).
+        let hot = rng.random::<f64>() < hot_fraction;
+        let image_id = if hot && n_hot > 0 {
             rng.random_range(0..n_hot)
         } else {
             cold_id += 1;
@@ -377,5 +382,17 @@ mod tests {
         let mut ids: Vec<u64> = s.iter().map(|r| r.image_id).collect();
         ids.dedup();
         assert_eq!(ids.len(), 50, "cold stream never repeats");
+    }
+
+    #[test]
+    fn request_stream_empty_hot_set_is_all_cold() {
+        // Regression: n_hot == 0 with hot_fraction > 0 used to panic on
+        // `random_range(0..0)`. An empty hot set means every request is
+        // cold, whatever the popularity skew says.
+        let s = request_stream(64, 0, 0.9, 1024, 0.0, 11);
+        assert_eq!(s.len(), 64);
+        let mut ids: Vec<u64> = s.iter().map(|r| r.image_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 64, "no hot set, so never a repeat");
     }
 }

@@ -102,3 +102,50 @@ fn composition_error_is_attenuated_not_amplified() {
         .unwrap();
     assert!(d5.end_to_end_error < d1.end_to_end_error);
 }
+
+#[test]
+fn fault_matrix_reaches_acceptance_bars() {
+    let rows = experiments::run_faults();
+    assert_eq!(rows.len(), 6, "every standard scenario runs");
+
+    // No scenario panics (we got here), every scenario completes work,
+    // and the fault-conditioned interface stays within 10% of truth.
+    for r in &rows {
+        assert!(r.completed > 0, "{}: nothing completed", r.scenario);
+        assert!(
+            r.rel_error < 0.10,
+            "{}: prediction off by {:.1}%",
+            r.scenario,
+            r.rel_error * 100.0
+        );
+    }
+
+    // Each degraded mode engages in its scenario.
+    let by_name = |n: &str| rows.iter().find(|r| r.scenario == n).unwrap();
+    let healthy = by_name("healthy");
+    assert_eq!(healthy.shed, 0);
+    assert_eq!(
+        (
+            healthy.retried,
+            healthy.degraded,
+            healthy.remote_skipped,
+            healthy.meter_stale
+        ),
+        (0, 0, 0, 0)
+    );
+    assert!(
+        by_name("gpu_brownout").degraded > 0,
+        "brownout sheds to the small model"
+    );
+    assert!(by_name("nic_flaky").retried > 0, "latency spikes retry");
+    assert!(
+        by_name("remote_down").remote_skipped > 0,
+        "dead node is skipped"
+    );
+    assert!(
+        by_name("meter_dropout").meter_stale > 0,
+        "dropout is detected"
+    );
+    let storm = by_name("combined_storm");
+    assert!(storm.degraded > 0 && storm.remote_skipped > 0 && storm.meter_stale > 0);
+}

@@ -1,7 +1,7 @@
 //! Golden-corpus regression over the paper's headline numbers.
 //!
 //! Every report the `--json` binaries emit (Table 1, experiments E1–E7,
-//! and the Fig. 2 full-stack rows as the eighth corpus entry) is frozen
+//! the E9 fault matrix, and the Fig. 2 full-stack rows) is frozen
 //! as JSON under `tests/golden/`. The tests re-run each experiment and
 //! diff the serialized tree against the golden file, comparing numbers
 //! with a relative tolerance so libm differences across platforms don't
@@ -161,6 +161,14 @@ fn e7_composition_matches_golden() {
     check_golden(
         "e7_composition.json",
         &ei_bench::experiments::run_composition().to_value(),
+    );
+}
+
+#[test]
+fn e9_faults_matches_golden() {
+    check_golden(
+        "e9_faults.json",
+        &ei_bench::experiments::run_faults().to_value(),
     );
 }
 

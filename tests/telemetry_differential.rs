@@ -85,6 +85,11 @@ fn e7_composition_unperturbed_by_telemetry() {
 }
 
 #[test]
+fn e9_faults_unperturbed_by_telemetry() {
+    assert_unperturbed("e9_faults", ei_bench::experiments::run_faults);
+}
+
+#[test]
 fn table1_unperturbed_by_telemetry() {
     assert_unperturbed("table1", ei_bench::table1::run);
 }
