@@ -363,6 +363,10 @@ pub struct BugHuntReport {
     pub broken_bugs: usize,
     /// Measured/predicted ratio with the cache disabled.
     pub broken_ratio: f64,
+    /// Static `eil-sema` diagnostics on the hunted interface (should be 0:
+    /// the bug is behavioural, not structural, so only the dynamic
+    /// detector catches it).
+    pub lint_diagnostics: usize,
 }
 
 /// Runs E6: the Fig. 1 service, healthy vs with its cache silently
@@ -435,6 +439,7 @@ pub fn run_bughunt() -> BugHuntReport {
             .first()
             .map(|b| b.ratio)
             .unwrap_or(broken_report.max_deviation + 1.0),
+        lint_diagnostics: healthy_report.lint.len(),
     }
 }
 
@@ -450,6 +455,10 @@ pub fn render_bughunt(r: &BugHuntReport) -> String {
     out.push_str(&format!(
         "  cache silently broken: measured/predicted = {:.2}x -> {} bug(s) flagged\n",
         r.broken_ratio, r.broken_bugs
+    ));
+    out.push_str(&format!(
+        "  static lint (eil-sema): {} diagnostic(s) -- the bug is invisible statically\n",
+        r.lint_diagnostics
     ));
     out
 }

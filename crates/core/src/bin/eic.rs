@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! eic check  <file.eil>                      parse + validate
+//! eic lint   <file.eil> [flags]              semantic analysis + lint rules
 //! eic fmt    <file.eil>                      pretty-print to stdout
 //! eic eval   <file.eil> <fn> [k=v...]        evaluate (exact or Monte Carlo)
 //! eic paths  <file.eil> <fn> [k=v...]        per-path energies and probabilities
@@ -11,6 +12,11 @@
 //! Scalar arguments are `name=3.5`; record fields are `req.size=64` (grouped
 //! into a record per prefix). `--seed N` and `--samples N` tune Monte Carlo;
 //! `--cal unit=joules` calibrates an abstract unit (repeatable).
+//!
+//! `lint` accepts `--deny warnings` (warnings fail the run), `--format
+//! json|text`, and repeatable `--cal unit=joules` entries so rule E002 can
+//! see the deployment's calibration. The file may contain several
+//! interfaces; cross-interface rules (W003) check them against each other.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -20,8 +26,9 @@ use ei_core::analysis::worst_case::worst_case;
 use ei_core::ecv::EcvEnv;
 use ei_core::interface::{InputSpec, Interface};
 use ei_core::interp::{enumerate_exact, monte_carlo, EvalConfig};
-use ei_core::parser::parse;
+use ei_core::parser::{parse, parse_all};
 use ei_core::pretty::print_interface;
+use ei_core::sema;
 use ei_core::units::Calibration;
 use ei_core::value::Value;
 
@@ -51,6 +58,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 iface.units.len(),
                 iface.externs.len()
             );
+            Ok(())
+        }
+        "lint" => {
+            let report = lint(&args[1..])?;
+            print!("{report}");
             Ok(())
         }
         "fmt" => {
@@ -124,6 +136,78 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         _ => Err(usage()),
     }
+}
+
+/// Runs the semantic analyzer over every interface in the given `.eil`
+/// file and renders the diagnostics. Flags and the file path may appear
+/// in any order. Returns `Err` (→ exit failure) when any error fires,
+/// or — under `--deny warnings` — when any warning fires.
+fn lint(raw: &[String]) -> Result<String, String> {
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut cal = Calibration::empty();
+    let mut path: Option<&str> = None;
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    return Err(format!(
+                        "--deny expects `warnings`, got `{}`",
+                        other.unwrap_or("")
+                    ))
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects `json` or `text`, got `{}`",
+                        other.unwrap_or("")
+                    ))
+                }
+            },
+            "--cal" => {
+                let spec = it.next().ok_or("--cal needs unit=joules")?;
+                let (unit, j) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--cal expects unit=joules, got `{spec}`"))?;
+                let j: f64 = j.parse().map_err(|_| format!("bad number in `{spec}`"))?;
+                cal.set(unit, ei_core::units::Energy::joules(j));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("lint: unknown flag `{other}`"))
+            }
+            other => {
+                if let Some(first) = path {
+                    return Err(format!("lint: two input files (`{first}` and `{other}`)"));
+                }
+                path = Some(other);
+            }
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_all(&src).map_err(|e| format!("{path}: {e}"))?;
+    let opts = sema::LintOptions::with_calibration(cal);
+    let diags = sema::check_program(&program, &opts);
+    let report = if json {
+        diags.render_json()
+    } else {
+        diags.render_text()
+    };
+    if diags.error_count() > 0 || (deny_warnings && diags.warning_count() > 0) {
+        // Print the report before failing so the diagnostics reach stdout.
+        print!("{report}");
+        return Err(format!(
+            "lint failed: {} error(s), {} warning(s)",
+            diags.error_count(),
+            diags.warning_count()
+        ));
+    }
+    Ok(report)
 }
 
 fn load(path: &str) -> Result<Interface, String> {
@@ -201,7 +285,8 @@ fn parse_args(
 }
 
 fn usage() -> String {
-    "usage: eic <check|fmt|eval|paths|bound> <file.eil> [fn] [args...]\n\
+    "usage: eic <check|lint|fmt|eval|paths|bound> <file.eil> [fn] [args...]\n\
+     \x20 lint args:        [--deny warnings] [--format json|text] [--cal unit=J]\n\
      \x20 eval/paths args:  name=3.5  req.size=64  [--seed N] [--samples N] [--cal unit=J]\n\
      \x20 bound args:       name=lo..hi  req.size=lo..hi"
         .to_string()

@@ -97,6 +97,10 @@ pub struct Interface {
     pub externs: BTreeMap<String, ExternDecl>,
     /// Optional input schemas per function, for analyses.
     pub input_specs: BTreeMap<String, InputSpec>,
+    /// Source positions recorded by the parser (metadata: always compares
+    /// equal, serializes as `null`; empty for programmatically built
+    /// interfaces).
+    pub spans: crate::span::SpanTable,
 }
 
 impl Interface {
@@ -110,6 +114,7 @@ impl Interface {
             units: BTreeSet::new(),
             externs: BTreeMap::new(),
             input_specs: BTreeMap::new(),
+            spans: crate::span::SpanTable::default(),
         }
     }
 

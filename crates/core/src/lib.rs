@@ -54,6 +54,8 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod sema;
+pub mod span;
 pub mod stack;
 pub mod units;
 pub mod value;

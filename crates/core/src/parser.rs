@@ -29,6 +29,13 @@
 //!
 //! Energy literals bind the unit to the number: `5 mJ`, `2 relu`. Declared
 //! abstract units must appear (with `unit relu;`) before use.
+//!
+//! While building the (position-free) AST the parser also records a mirror
+//! tree of [`Span`]s — one per declaration, statement, and expression — in
+//! the interface's [`SpanTable`], so diagnostics from the [`sema`] lint
+//! pass can point at real source coordinates.
+//!
+//! [`sema`]: crate::sema
 
 use std::collections::BTreeSet;
 
@@ -37,6 +44,7 @@ use crate::ecv::{DistSpec, EcvDecl};
 use crate::error::{Error, Result};
 use crate::interface::Interface;
 use crate::lexer::{lex, Spanned, Tok};
+use crate::span::{ExprSpans, FnSpans, Span, StmtSpans};
 
 /// Keywords that cannot be used as identifiers.
 pub const KEYWORDS: &[&str] = &[
@@ -89,7 +97,7 @@ pub fn parse_expr(src: &str) -> Result<Expr> {
         pos: 0,
         units: BTreeSet::new(),
     };
-    let e = p.expr()?;
+    let (e, _) = p.expr()?;
     p.expect_eof()?;
     Ok(e)
 }
@@ -111,6 +119,12 @@ impl Parser {
             .or_else(|| self.toks.last())
             .map(|s| (s.line, s.col))
             .unwrap_or((1, 1))
+    }
+
+    /// The current token's position as a [`Span`].
+    fn span_here(&self) -> Span {
+        let (line, col) = self.here();
+        Span::new(line, col)
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
@@ -153,6 +167,10 @@ impl Parser {
         } else {
             Err(self.err("unexpected trailing input"))
         }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos == self.toks.len()
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
@@ -204,6 +222,9 @@ impl Parser {
     }
 
     fn interface(&mut self) -> Result<Interface> {
+        // Unit suffixes are scoped to one interface (relevant for multi-
+        // interface files parsed via `parse_all`).
+        self.units.clear();
         self.expect_kw("interface")?;
         let name = self.ident()?;
         let mut iface = Interface::new(name);
@@ -211,35 +232,49 @@ impl Parser {
         self.expect(&Tok::LBrace, "`{`")?;
         while !self.eat(&Tok::RBrace) {
             if self.eat_kw("unit") {
+                let sp = self.span_here();
                 let u = self.ident()?;
                 self.expect(&Tok::Semi, "`;`")?;
                 self.units.insert(u.clone());
+                iface.spans.units.insert(u.clone(), sp);
                 iface.add_unit(u);
             } else if self.eat_kw("ecv") {
+                let sp = self.span_here();
                 let name = self.ident()?;
                 self.expect(&Tok::Colon, "`:`")?;
                 let dist = self.dist()?;
                 let doc = self.opt_doc();
                 self.expect(&Tok::Semi, "`;`")?;
+                iface.spans.ecvs.insert(name.clone(), sp);
                 iface.add_ecv(name, EcvDecl { dist, doc })?;
             } else if self.eat_kw("extern") {
                 self.expect_kw("fn")?;
+                let sp = self.span_here();
                 let name = self.ident()?;
                 self.expect(&Tok::LParen, "`(`")?;
                 let params = self.param_list()?;
                 let doc = self.opt_doc();
                 self.expect(&Tok::Semi, "`;`")?;
+                iface.spans.externs.insert(name.clone(), sp);
                 iface.add_extern(ExternDecl {
                     name,
                     arity: params.len(),
                     doc,
                 })?;
             } else if self.eat_kw("fn") {
+                let sp = self.span_here();
                 let name = self.ident()?;
                 self.expect(&Tok::LParen, "`(`")?;
                 let params = self.param_list()?;
                 let doc = self.opt_doc();
-                let body = self.block()?;
+                let (body, body_spans) = self.block()?;
+                iface.spans.fns.insert(
+                    name.clone(),
+                    FnSpans {
+                        decl: sp,
+                        body: body_spans,
+                    },
+                );
                 iface.add_fn(FnDef {
                     name,
                     params,
@@ -312,36 +347,55 @@ impl Parser {
         Ok(spec)
     }
 
-    fn block(&mut self) -> Result<Vec<Stmt>> {
+    fn block(&mut self) -> Result<(Vec<Stmt>, Vec<StmtSpans>)> {
         self.expect(&Tok::LBrace, "`{`")?;
         let mut stmts = Vec::new();
+        let mut spans = Vec::new();
         while !self.eat(&Tok::RBrace) {
-            stmts.push(self.stmt()?);
+            let (s, sp) = self.stmt()?;
+            stmts.push(s);
+            spans.push(sp);
         }
-        Ok(stmts)
+        Ok((stmts, spans))
     }
 
-    fn stmt(&mut self) -> Result<Stmt> {
+    fn stmt(&mut self) -> Result<(Stmt, StmtSpans)> {
+        let sp = self.span_here();
         if self.eat_kw("let") {
             let name = self.ident()?;
             self.expect(&Tok::Assign, "`=`")?;
-            let e = self.expr()?;
+            let (e, es) = self.expr()?;
             self.expect(&Tok::Semi, "`;`")?;
-            return Ok(Stmt::Let(name, e));
+            return Ok((
+                Stmt::Let(name, e),
+                StmtSpans {
+                    span: sp,
+                    exprs: vec![es],
+                    blocks: vec![],
+                },
+            ));
         }
         if self.eat_kw("return") {
-            let e = self.expr()?;
+            let (e, es) = self.expr()?;
             self.expect(&Tok::Semi, "`;`")?;
-            return Ok(Stmt::Return(e));
+            return Ok((
+                Stmt::Return(e),
+                StmtSpans {
+                    span: sp,
+                    exprs: vec![es],
+                    blocks: vec![],
+                },
+            ));
         }
         if self.eat_kw("if") {
-            let cond = self.expr()?;
-            let then_b = self.block()?;
-            let else_b = if self.eat_kw("else") {
+            let (cond, cond_s) = self.expr()?;
+            let (then_b, then_s) = self.block()?;
+            let (else_b, else_s) = if self.eat_kw("else") {
                 if let Some(Tok::Ident(k)) = self.peek() {
                     if k == "if" {
                         // `else if ...` sugar.
-                        vec![self.stmt()?]
+                        let (s, ss) = self.stmt()?;
+                        (vec![s], vec![ss])
                     } else {
                         return Err(self.err("expected `{` or `if` after `else`"));
                     }
@@ -349,70 +403,108 @@ impl Parser {
                     self.block()?
                 }
             } else {
-                Vec::new()
+                (Vec::new(), Vec::new())
             };
-            return Ok(Stmt::If(cond, then_b, else_b));
+            return Ok((
+                Stmt::If(cond, then_b, else_b),
+                StmtSpans {
+                    span: sp,
+                    exprs: vec![cond_s],
+                    blocks: vec![then_s, else_s],
+                },
+            ));
         }
         if self.eat_kw("for") {
             let var = self.ident()?;
             self.expect_kw("in")?;
-            let from = self.expr()?;
+            let (from, from_s) = self.expr()?;
             self.expect(&Tok::DotDot, "`..`")?;
-            let to = self.expr()?;
-            let body = self.block()?;
-            return Ok(Stmt::For {
-                var,
-                from,
-                to,
-                body,
-            });
+            let (to, to_s) = self.expr()?;
+            let (body, body_s) = self.block()?;
+            return Ok((
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                },
+                StmtSpans {
+                    span: sp,
+                    exprs: vec![from_s, to_s],
+                    blocks: vec![body_s],
+                },
+            ));
         }
         if self.eat_kw("while") {
-            let cond = self.expr()?;
+            let (cond, cond_s) = self.expr()?;
             self.expect_kw("bound")?;
             let bound = self.number()?;
             if bound < 0.0 || bound.fract() != 0.0 {
                 return Err(self.err("while bound must be a non-negative integer"));
             }
-            let body = self.block()?;
-            return Ok(Stmt::While {
-                cond,
-                bound: bound as u64,
-                body,
-            });
+            let (body, body_s) = self.block()?;
+            return Ok((
+                Stmt::While {
+                    cond,
+                    bound: bound as u64,
+                    body,
+                },
+                StmtSpans {
+                    span: sp,
+                    exprs: vec![cond_s],
+                    blocks: vec![body_s],
+                },
+            ));
         }
         // Assignment: `ident = expr;`.
         let name = self.ident()?;
         self.expect(&Tok::Assign, "`=` (assignment)")?;
-        let e = self.expr()?;
+        let (e, es) = self.expr()?;
         self.expect(&Tok::Semi, "`;`")?;
-        Ok(Stmt::Assign(name, e))
+        Ok((
+            Stmt::Assign(name, e),
+            StmtSpans {
+                span: sp,
+                exprs: vec![es],
+                blocks: vec![],
+            },
+        ))
     }
 
-    fn expr(&mut self) -> Result<Expr> {
+    fn expr(&mut self) -> Result<(Expr, ExprSpans)> {
         self.or_expr()
     }
 
-    fn or_expr(&mut self) -> Result<Expr> {
-        let mut e = self.and_expr()?;
-        while self.eat(&Tok::OrOr) {
-            let rhs = self.and_expr()?;
+    fn or_expr(&mut self) -> Result<(Expr, ExprSpans)> {
+        let (mut e, mut es) = self.and_expr()?;
+        loop {
+            let sp = self.span_here();
+            if !self.eat(&Tok::OrOr) {
+                break;
+            }
+            let (rhs, rs) = self.and_expr()?;
             e = Expr::bin(BinOp::Or, e, rhs);
+            es = ExprSpans::node(sp, vec![es, rs]);
         }
-        Ok(e)
+        Ok((e, es))
     }
 
-    fn and_expr(&mut self) -> Result<Expr> {
-        let mut e = self.cmp_expr()?;
-        while self.eat(&Tok::AndAnd) {
-            let rhs = self.cmp_expr()?;
+    fn and_expr(&mut self) -> Result<(Expr, ExprSpans)> {
+        let (mut e, mut es) = self.cmp_expr()?;
+        loop {
+            let sp = self.span_here();
+            if !self.eat(&Tok::AndAnd) {
+                break;
+            }
+            let (rhs, rs) = self.cmp_expr()?;
             e = Expr::bin(BinOp::And, e, rhs);
+            es = ExprSpans::node(sp, vec![es, rs]);
         }
-        Ok(e)
+        Ok((e, es))
     }
 
-    fn cmp_expr(&mut self) -> Result<Expr> {
-        let e = self.add_expr()?;
+    fn cmp_expr(&mut self) -> Result<(Expr, ExprSpans)> {
+        let (e, es) = self.add_expr()?;
         let op = match self.peek() {
             Some(Tok::Eq) => BinOp::Eq,
             Some(Tok::Ne) => BinOp::Ne,
@@ -420,30 +512,33 @@ impl Parser {
             Some(Tok::Le) => BinOp::Le,
             Some(Tok::Gt) => BinOp::Gt,
             Some(Tok::Ge) => BinOp::Ge,
-            _ => return Ok(e),
+            _ => return Ok((e, es)),
         };
+        let sp = self.span_here();
         self.pos += 1;
-        let rhs = self.add_expr()?;
-        Ok(Expr::bin(op, e, rhs))
+        let (rhs, rs) = self.add_expr()?;
+        Ok((Expr::bin(op, e, rhs), ExprSpans::node(sp, vec![es, rs])))
     }
 
-    fn add_expr(&mut self) -> Result<Expr> {
-        let mut e = self.mul_expr()?;
+    fn add_expr(&mut self) -> Result<(Expr, ExprSpans)> {
+        let (mut e, mut es) = self.mul_expr()?;
         loop {
             let op = match self.peek() {
                 Some(Tok::Plus) => BinOp::Add,
                 Some(Tok::Minus) => BinOp::Sub,
                 _ => break,
             };
+            let sp = self.span_here();
             self.pos += 1;
-            let rhs = self.mul_expr()?;
+            let (rhs, rs) = self.mul_expr()?;
             e = Expr::bin(op, e, rhs);
+            es = ExprSpans::node(sp, vec![es, rs]);
         }
-        Ok(e)
+        Ok((e, es))
     }
 
-    fn mul_expr(&mut self) -> Result<Expr> {
-        let mut e = self.unary_expr()?;
+    fn mul_expr(&mut self) -> Result<(Expr, ExprSpans)> {
+        let (mut e, mut es) = self.unary_expr()?;
         loop {
             let op = match self.peek() {
                 Some(Tok::Star) => BinOp::Mul,
@@ -451,40 +546,56 @@ impl Parser {
                 Some(Tok::Percent) => BinOp::Mod,
                 _ => break,
             };
+            let sp = self.span_here();
             self.pos += 1;
-            let rhs = self.unary_expr()?;
+            let (rhs, rs) = self.unary_expr()?;
             e = Expr::bin(op, e, rhs);
+            es = ExprSpans::node(sp, vec![es, rs]);
         }
-        Ok(e)
+        Ok((e, es))
     }
 
-    fn unary_expr(&mut self) -> Result<Expr> {
+    fn unary_expr(&mut self) -> Result<(Expr, ExprSpans)> {
+        let sp = self.span_here();
         if self.eat(&Tok::Minus) {
-            let inner = self.unary_expr()?;
-            // Fold negation into literals so `-1` round-trips as `Num(-1)`.
+            let (inner, is) = self.unary_expr()?;
+            // Fold negation into literals so `-1` round-trips as `Num(-1)`;
+            // the folded literal keeps the minus token's position.
             return Ok(match inner {
-                Expr::Num(n) => Expr::Num(-n),
-                Expr::Joules(j) => Expr::Joules(-j),
-                other => Expr::Unary(UnOp::Neg, Box::new(other)),
+                Expr::Num(n) => (Expr::Num(-n), ExprSpans::leaf(sp)),
+                Expr::Joules(j) => (Expr::Joules(-j), ExprSpans::leaf(sp)),
+                other => (
+                    Expr::Unary(UnOp::Neg, Box::new(other)),
+                    ExprSpans::node(sp, vec![is]),
+                ),
             });
         }
         if self.eat(&Tok::Bang) {
-            let inner = self.unary_expr()?;
-            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+            let (inner, is) = self.unary_expr()?;
+            return Ok((
+                Expr::Unary(UnOp::Not, Box::new(inner)),
+                ExprSpans::node(sp, vec![is]),
+            ));
         }
         self.postfix_expr()
     }
 
-    fn postfix_expr(&mut self) -> Result<Expr> {
-        let mut e = self.primary()?;
-        while self.eat(&Tok::Dot) {
+    fn postfix_expr(&mut self) -> Result<(Expr, ExprSpans)> {
+        let (mut e, mut es) = self.primary()?;
+        loop {
+            let sp = self.span_here();
+            if !self.eat(&Tok::Dot) {
+                break;
+            }
             let field = self.ident()?;
             e = Expr::Field(Box::new(e), field);
+            es = ExprSpans::node(sp, vec![es]);
         }
-        Ok(e)
+        Ok((e, es))
     }
 
-    fn primary(&mut self) -> Result<Expr> {
+    fn primary(&mut self) -> Result<(Expr, ExprSpans)> {
+        let sp = self.span_here();
         match self.peek().cloned() {
             Some(Tok::Num(n)) => {
                 self.pos += 1;
@@ -493,22 +604,22 @@ impl Parser {
                     let suffix = suffix.clone();
                     if let Some((_, scale)) = ENERGY_SUFFIXES.iter().find(|(s, _)| *s == suffix) {
                         self.pos += 1;
-                        return Ok(Expr::Joules(n * scale));
+                        return Ok((Expr::Joules(n * scale), ExprSpans::leaf(sp)));
                     }
                     if self.units.contains(&suffix) {
                         self.pos += 1;
-                        return Ok(Expr::Unit(suffix, n));
+                        return Ok((Expr::Unit(suffix, n), ExprSpans::leaf(sp)));
                     }
                 }
-                Ok(Expr::Num(n))
+                Ok((Expr::Num(n), ExprSpans::leaf(sp)))
             }
             Some(Tok::Ident(id)) if id == "true" => {
                 self.pos += 1;
-                Ok(Expr::Bool(true))
+                Ok((Expr::Bool(true), ExprSpans::leaf(sp)))
             }
             Some(Tok::Ident(id)) if id == "false" => {
                 self.pos += 1;
-                Ok(Expr::Bool(false))
+                Ok((Expr::Bool(false), ExprSpans::leaf(sp)))
             }
             Some(Tok::Ident(id)) if id == "ecv" => {
                 // `ecv(name)` — explicit ECV read.
@@ -516,29 +627,35 @@ impl Parser {
                 self.expect(&Tok::LParen, "`(`")?;
                 let name = self.ident()?;
                 self.expect(&Tok::RParen, "`)`")?;
-                Ok(Expr::Ecv(name))
+                Ok((Expr::Ecv(name), ExprSpans::leaf(sp)))
             }
             Some(Tok::Ident(id)) if id == "if" => {
                 // If-expression: `if c { a } else { b }`.
                 self.pos += 1;
-                let c = self.expr()?;
+                let (c, cs) = self.expr()?;
                 self.expect(&Tok::LBrace, "`{`")?;
-                let t = self.expr()?;
+                let (t, ts) = self.expr()?;
                 self.expect(&Tok::RBrace, "`}`")?;
                 self.expect_kw("else")?;
                 self.expect(&Tok::LBrace, "`{`")?;
-                let f = self.expr()?;
+                let (f, fs) = self.expr()?;
                 self.expect(&Tok::RBrace, "`}`")?;
-                Ok(Expr::IfExpr(Box::new(c), Box::new(t), Box::new(f)))
+                Ok((
+                    Expr::IfExpr(Box::new(c), Box::new(t), Box::new(f)),
+                    ExprSpans::node(sp, vec![cs, ts, fs]),
+                ))
             }
             Some(Tok::Ident(id)) if !KEYWORDS.contains(&id.as_str()) => {
                 self.pos += 1;
                 if self.peek() == Some(&Tok::LParen) {
                     self.pos += 1;
                     let mut args = Vec::new();
+                    let mut arg_spans = Vec::new();
                     if !self.eat(&Tok::RParen) {
                         loop {
-                            args.push(self.expr()?);
+                            let (a, asp) = self.expr()?;
+                            args.push(a);
+                            arg_spans.push(asp);
                             if self.eat(&Tok::Comma) {
                                 continue;
                             }
@@ -547,17 +664,18 @@ impl Parser {
                         }
                     }
                     if let Some(b) = Builtin::from_name(&id) {
-                        return Ok(Expr::BuiltinCall(b, args));
+                        return Ok((Expr::BuiltinCall(b, args), ExprSpans::node(sp, arg_spans)));
                     }
-                    return Ok(Expr::Call(id, args));
+                    return Ok((Expr::Call(id, args), ExprSpans::node(sp, arg_spans)));
                 }
-                Ok(Expr::Var(id))
+                Ok((Expr::Var(id), ExprSpans::leaf(sp)))
             }
             Some(Tok::LParen) => {
                 self.pos += 1;
-                let e = self.expr()?;
+                let (e, es) = self.expr()?;
                 self.expect(&Tok::RParen, "`)`")?;
-                Ok(e)
+                // Parentheses are not AST nodes; pass the inner mirror up.
+                Ok((e, es))
             }
             _ => Err(self.err("expected expression")),
         }
@@ -569,7 +687,8 @@ impl Parser {
 /// The surface syntax lets Fig. 1-style code write `if request_hit { .. }`
 /// without the explicit `ecv(..)` form; after parsing a whole interface we
 /// rewrite any variable that (a) is not a parameter or local and (b) names a
-/// declared ECV.
+/// declared ECV. The rewrite swaps leaves for leaves, so the span mirror
+/// tree stays aligned untouched.
 pub fn resolve_ecv_reads(iface: &mut Interface) {
     let ecv_names: BTreeSet<String> = iface.ecvs.keys().cloned().collect();
     for f in iface.fns.values_mut() {
@@ -650,6 +769,33 @@ pub fn parse(src: &str) -> Result<Interface> {
     resolve_ecv_reads(&mut iface);
     iface.validate()?;
     Ok(iface)
+}
+
+/// Parses a file containing one or more interfaces.
+///
+/// Multi-interface files are how compositions ship as a single unit: an
+/// upper interface plus the providers meant to satisfy its externs. Each
+/// interface is resolved and validated independently (unit suffixes do not
+/// leak across interfaces); `eic lint` additionally cross-checks the
+/// declared externs against the sibling providers (rule W003).
+pub fn parse_all(src: &str) -> Result<Vec<Interface>> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        units: BTreeSet::new(),
+    };
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        let mut iface = p.interface()?;
+        resolve_ecv_reads(&mut iface);
+        iface.validate()?;
+        out.push(iface);
+    }
+    if out.is_empty() {
+        return Err(p.err("expected at least one `interface`"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -893,5 +1039,132 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    // -----------------------------------------------------------------------
+    // Span threading
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn declaration_spans_recorded() {
+        let src = "interface s {\n    unit relu;\n    ecv hit: bernoulli(0.5);\n    extern fn hw(x);\n    fn f(n) { return hw(n) + 1 relu; }\n}\n";
+        let iface = parse(src).unwrap();
+        assert_eq!(iface.spans.unit("relu"), crate::span::Span::new(2, 10));
+        assert_eq!(iface.spans.ecv("hit"), crate::span::Span::new(3, 9));
+        assert_eq!(iface.spans.extern_decl("hw"), crate::span::Span::new(4, 15));
+        assert_eq!(iface.spans.fn_spans("f").decl, crate::span::Span::new(5, 8));
+    }
+
+    #[test]
+    fn statement_and_expression_spans_mirror_the_ast() {
+        let src = "interface s {\n    fn f(n) {\n        let a = 1 + n;\n        if n > 2 {\n            return 1 J;\n        } else {\n            return 2 J * a;\n        }\n    }\n}\n";
+        let iface = parse(src).unwrap();
+        let fs = iface.spans.fn_spans("f");
+        // `let` keyword on line 3, col 9.
+        assert_eq!(fs.stmt(0).span, crate::span::Span::new(3, 9));
+        // The let's rhs mirror anchors at the `+` operator.
+        assert_eq!(fs.stmt(0).expr(0).span, crate::span::Span::new(3, 19));
+        // Its children are the two operand leaves.
+        assert_eq!(
+            fs.stmt(0).expr(0).child(0).span,
+            crate::span::Span::new(3, 17)
+        );
+        assert_eq!(
+            fs.stmt(0).expr(0).child(1).span,
+            crate::span::Span::new(3, 21)
+        );
+        // `if` statement with both blocks mirrored.
+        let if_s = fs.stmt(1);
+        assert_eq!(if_s.span, crate::span::Span::new(4, 9));
+        assert_eq!(if_s.block(0).len(), 1);
+        assert_eq!(if_s.block(1).len(), 1);
+        // The else-branch return's rhs is `2 J * a`: anchored at `*`.
+        let ret = &if_s.block(1)[0];
+        assert_eq!(ret.expr(0).span, crate::span::Span::new(7, 24));
+        // AST shape matches the mirror shape.
+        let f = iface.get_fn("f").unwrap();
+        match &f.body[0] {
+            Stmt::Let(_, Expr::Binary(_, _, _)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folded_negative_literals_keep_a_span() {
+        let src = "interface s { fn f() { return 0 J * (0 - -3); } }";
+        let iface = parse(src).unwrap();
+        let fs = iface.spans.fn_spans("f");
+        // return-rhs is `*`; its right child is `(0 - -3)` anchored at `-`,
+        // whose right child is the folded literal at the minus token.
+        let mul = fs.stmt(0).expr(0);
+        let sub = mul.child(1);
+        assert!(!sub.child(1).span.is_none());
+    }
+
+    #[test]
+    fn programmatic_interfaces_have_empty_span_tables() {
+        let iface = Interface::new("empty");
+        assert!(iface.spans.is_empty());
+        // And parsed == programmatic comparisons ignore spans entirely.
+        let parsed = parse("interface p { fn f() { return 1 J; } }").unwrap();
+        let mut rebuilt = Interface::new("p");
+        rebuilt
+            .add_fn(FnDef::new(
+                "f",
+                vec![],
+                vec![Stmt::Return(Expr::Joules(1.0))],
+            ))
+            .unwrap();
+        assert!(!parsed.spans.is_empty());
+        assert_eq!(parsed, rebuilt);
+    }
+
+    // -----------------------------------------------------------------------
+    // Multi-interface files
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn parse_all_reads_multiple_interfaces() {
+        let src = r#"
+            interface upper {
+                extern fn op(x);
+                fn f(x) { return op(x); }
+            }
+            interface provider {
+                unit relu;
+                fn op(x) { return 1 relu * x; }
+            }
+        "#;
+        let ifaces = parse_all(src).unwrap();
+        assert_eq!(ifaces.len(), 2);
+        assert_eq!(ifaces[0].name, "upper");
+        assert_eq!(ifaces[1].name, "provider");
+        // Unit suffixes don't leak across interfaces.
+        assert!(ifaces[0].units.is_empty());
+        assert!(ifaces[1].units.contains("relu"));
+    }
+
+    #[test]
+    fn parse_all_unit_scope_does_not_leak() {
+        // `relu` declared only in the first interface must not lex as an
+        // energy suffix in the second.
+        let src = r#"
+            interface a { unit relu; fn f() { return 1 relu; } }
+            interface b { fn g() { return 2 relu; } }
+        "#;
+        assert!(parse_all(src).is_err());
+    }
+
+    #[test]
+    fn parse_all_rejects_empty_and_garbage() {
+        assert!(parse_all("").is_err());
+        assert!(parse_all("interface a { } garbage").is_err());
+    }
+
+    #[test]
+    fn parse_all_single_matches_parse() {
+        let ifaces = parse_all(FIG1).unwrap();
+        assert_eq!(ifaces.len(), 1);
+        assert_eq!(ifaces[0], parse(FIG1).unwrap());
     }
 }

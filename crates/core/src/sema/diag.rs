@@ -1,0 +1,311 @@
+//! Structured diagnostics for the semantic analyzer.
+//!
+//! Every lint rule reports through [`Diagnostic`]: a stable rule id, a
+//! severity, the interface (and usually function) it fired in, a `line:col`
+//! [`Span`] into the original source when the interface was parsed, a
+//! human-readable message, and an optional fix hint. [`Diagnostics`] is the
+//! ordered collection with deterministic text and JSON renderings — the JSON
+//! is hand-rolled (ei-core does not depend on serde_json) and byte-stable,
+//! so CI can archive and diff lint reports.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// How severe a diagnostic is.
+///
+/// Errors describe interfaces that will mislead or break downstream tooling
+/// (wrong units, negative energy, undecidable worst case); warnings describe
+/// interfaces that are suspicious but usable (`--deny warnings` promotes
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not disqualifying.
+    Warning,
+    /// The interface should not be trusted until fixed.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in both renderings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding from a lint rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule id (`E001`, `W002`, ...).
+    pub rule: &'static str,
+    /// Severity the rule declared.
+    pub severity: Severity,
+    /// Name of the interface the finding is in.
+    pub interface: String,
+    /// Function the finding is in, when it is function-local.
+    pub function: Option<String>,
+    /// Source position (0:0 for programmatically built interfaces).
+    pub span: Span,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Optional suggestion for fixing it.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders the one-line text form (without the hint).
+    pub fn text_line(&self) -> String {
+        let mut loc = self.interface.clone();
+        if let Some(f) = &self.function {
+            loc.push_str("::");
+            loc.push_str(f);
+        }
+        if self.span.is_none() {
+            format!("{}[{}] {}: {}", self.severity, self.rule, loc, self.message)
+        } else {
+            format!(
+                "{}[{}] {}:{}: {}",
+                self.severity, self.rule, loc, self.span, self.message
+            )
+        }
+    }
+}
+
+/// An ordered, deduplicated collection of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Absorbs another collection.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Sorts findings into the canonical order (interface, position, rule,
+    /// message) and drops exact duplicates. Renderings are byte-stable only
+    /// after this; the `check*` entry points call it before returning.
+    pub fn finish(&mut self) {
+        self.items.sort_by(|a, b| {
+            (&a.interface, &a.function, a.span, a.rule, &a.message).cmp(&(
+                &b.interface,
+                &b.function,
+                b.span,
+                b.rule,
+                &b.message,
+            ))
+        });
+        self.items.dedup();
+    }
+
+    /// All findings, in insertion (or post-[`finish`](Self::finish)) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing was reported.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Renders the human-readable report: one line per finding plus an
+    /// indented hint line where a rule offered one, then a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.text_line());
+            out.push('\n');
+            if let Some(h) = &d.hint {
+                out.push_str("    hint: ");
+                out.push_str(h);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report as deterministic JSON.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\n      \"rule\": {},", json_str(d.rule)));
+            out.push_str(&format!(
+                "\n      \"severity\": {},",
+                json_str(d.severity.name())
+            ));
+            out.push_str(&format!(
+                "\n      \"interface\": {},",
+                json_str(&d.interface)
+            ));
+            match &d.function {
+                Some(f) => out.push_str(&format!("\n      \"function\": {},", json_str(f))),
+                None => out.push_str("\n      \"function\": null,"),
+            }
+            out.push_str(&format!("\n      \"line\": {},", d.span.line));
+            out.push_str(&format!("\n      \"col\": {},", d.span.col));
+            out.push_str(&format!("\n      \"message\": {},", json_str(&d.message)));
+            match &d.hint {
+                Some(h) => out.push_str(&format!("\n      \"hint\": {}", json_str(h))),
+                None => out.push_str("\n      \"hint\": null"),
+            }
+            out.push_str("\n    }");
+        }
+        if !self.items.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"errors\": {},\n", self.error_count()));
+        out.push_str(&format!("  \"warnings\": {}\n", self.warning_count()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, sev: Severity, line: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: sev,
+            interface: "t".into(),
+            function: Some("f".into()),
+            span: Span::new(line, 5),
+            message: msg.into(),
+            hint: None,
+        }
+    }
+
+    #[test]
+    fn counts_and_order() {
+        let mut ds = Diagnostics::new();
+        ds.push(diag("W001", Severity::Warning, 9, "later"));
+        ds.push(diag("E001", Severity::Error, 2, "earlier"));
+        ds.push(diag("E001", Severity::Error, 2, "earlier"));
+        ds.finish();
+        assert_eq!(ds.len(), 2, "exact duplicates collapse");
+        assert_eq!(ds.error_count(), 1);
+        assert_eq!(ds.warning_count(), 1);
+        let first = ds.iter().next().unwrap();
+        assert_eq!(first.span.line, 2, "sorted by position");
+    }
+
+    #[test]
+    fn text_rendering_is_stable() {
+        let mut ds = Diagnostics::new();
+        let mut d = diag("E003", Severity::Error, 3, "possibly-negative energy");
+        d.hint = Some("clamp the subtraction".into());
+        ds.push(d);
+        ds.finish();
+        let text = ds.render_text();
+        assert_eq!(
+            text,
+            "error[E003] t::f:3:5: possibly-negative energy\n    hint: clamp the subtraction\n1 error(s), 0 warning(s)\n"
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_counts() {
+        let mut ds = Diagnostics::new();
+        ds.push(diag("E001", Severity::Error, 1, "bad \"quote\""));
+        ds.finish();
+        let json = ds.render_json();
+        assert!(json.contains("\"rule\": \"E001\""));
+        assert!(json.contains("bad \\\"quote\\\""));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let ds = Diagnostics::new();
+        assert_eq!(ds.render_text(), "0 error(s), 0 warning(s)\n");
+        assert!(ds.render_json().contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn positionless_findings_omit_the_span() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic {
+            rule: "W001",
+            severity: Severity::Warning,
+            interface: "t".into(),
+            function: None,
+            span: Span::NONE,
+            message: "dead ECV".into(),
+            hint: None,
+        });
+        let text = ds.render_text();
+        assert!(text.starts_with("warning[W001] t: dead ECV\n"));
+    }
+}

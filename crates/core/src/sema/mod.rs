@@ -1,0 +1,255 @@
+//! `eil-sema`: static semantic analysis and linting for energy interfaces.
+//!
+//! §4.1 of the paper argues that energy interfaces, being programs, are
+//! amenable to static analysis. The rest of [`analysis`](crate::analysis)
+//! assumes a *well-formed* interface; this module is the gatekeeper that
+//! decides well-formedness. It runs a pluggable set of [`LintRule`]s —
+//! unit/dimension checking over an abstract type lattice ([`types`]),
+//! calibration completeness, interval-proved non-negativity, loop
+//! boundedness, dead-declaration and determinism hygiene, and composition
+//! shape checks — and reports structured [`Diagnostics`] with stable rule
+//! ids and real `line:col` positions (when the interface came from the
+//! parser).
+//!
+//! Entry points:
+//!
+//! - [`check`] — lint one interface with default options (empty
+//!   calibration: every abstract unit is reported uncalibrated).
+//! - [`check_with`] — lint one interface against a [`Calibration`].
+//! - [`check_program`] — lint a multi-interface program; cross-interface
+//!   rules (W003) see sibling providers.
+//!
+//! ```
+//! use ei_core::parser::parse;
+//! use ei_core::sema;
+//!
+//! let iface = parse("interface t { fn f(n) { return n + 1 + 5 mJ; } }").unwrap();
+//! let diags = sema::check(&iface);
+//! assert_eq!(diags.iter().next().unwrap().rule, "E001");
+//! ```
+
+pub mod diag;
+pub mod rules;
+pub mod types;
+
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use rules::{default_rules, rule_table, LintRule, RuleInfo};
+pub use types::{FnSig, Ty};
+
+use crate::interface::Interface;
+use crate::units::Calibration;
+
+/// Options shared by every rule in one lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Joule costs of abstract units; units absent from here trip E002.
+    pub calibration: Calibration,
+}
+
+impl LintOptions {
+    /// Options with the given calibration.
+    pub fn with_calibration(calibration: Calibration) -> Self {
+        LintOptions { calibration }
+    }
+}
+
+/// Everything a rule may look at while checking one interface.
+pub struct LintContext<'a> {
+    /// The interface under analysis.
+    pub iface: &'a Interface,
+    /// The whole program (contains `iface`; length 1 for single-interface
+    /// runs). Cross-interface rules scan the siblings.
+    pub program: &'a [Interface],
+    /// Run-wide options.
+    pub options: &'a LintOptions,
+}
+
+/// Lints one interface with default options.
+///
+/// The default calibration is empty, so every abstract unit the interface
+/// emits is reported as uncalibrated (E002) — appropriate for vetting a
+/// bare `.eil` file. Use [`check_with`] when a calibration exists.
+pub fn check(iface: &Interface) -> Diagnostics {
+    check_with(iface, &LintOptions::default())
+}
+
+/// Lints one interface against explicit options.
+pub fn check_with(iface: &Interface, options: &LintOptions) -> Diagnostics {
+    check_program(std::slice::from_ref(iface), options)
+}
+
+/// Lints every interface of a program, with cross-interface rules enabled.
+pub fn check_program(program: &[Interface], options: &LintOptions) -> Diagnostics {
+    let rules = default_rules();
+    let mut out = Diagnostics::new();
+    for iface in program {
+        let cx = LintContext {
+            iface,
+            program,
+            options,
+        };
+        for rule in &rules {
+            rule.check(&cx, &mut out);
+        }
+    }
+    out.finish();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_all};
+    use crate::units::Energy;
+
+    fn cal(pairs: &[(&str, f64)]) -> LintOptions {
+        LintOptions::with_calibration(Calibration::from_pairs(
+            pairs
+                .iter()
+                .map(|(u, j)| (u.to_string(), Energy::joules(*j))),
+        ))
+    }
+
+    #[test]
+    fn clean_interface_lints_clean() {
+        let iface = parse(
+            r#"
+            interface cache {
+                unit probe;
+                ecv hit: bernoulli(0.8);
+                fn lookup(len) {
+                    return (if hit { 5 mJ } else { 100 mJ }) * len + 1 probe;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let d = check_with(&iface, &cal(&[("probe", 1e-6)]));
+        assert!(d.is_empty(), "{}", d.render_text());
+    }
+
+    #[test]
+    fn default_check_reports_uncalibrated_units() {
+        let iface = parse("interface t { unit relu; fn f() { return 1 relu; } }").unwrap();
+        let d = check(&iface);
+        assert_eq!(d.iter().filter(|x| x.rule == "E002").count(), 1);
+        let d = check_with(&iface, &cal(&[("relu", 2e-3)]));
+        assert!(d.is_empty(), "{}", d.render_text());
+    }
+
+    #[test]
+    fn every_rule_fires_on_its_defect() {
+        // E001.
+        let d = check(&parse("interface t { fn f(n) { return n + 1 + 1 J; } }").unwrap());
+        assert!(d.iter().any(|x| x.rule == "E001"));
+        // E003: a parameterless function with a proven-negative result.
+        let d = check(&parse("interface t { fn f() { return 1 J - 2 J; } }").unwrap());
+        assert!(d.iter().any(|x| x.rule == "E003"), "{}", d.render_text());
+        // E004: loop bound with no declared range.
+        let d = check(
+            &parse(
+                "interface t { fn f(n) { let e = 0 J; for i in 0..n { e = e + 1 J; } return e; } }",
+            )
+            .unwrap(),
+        );
+        assert!(d.iter().any(|x| x.rule == "E004"), "{}", d.render_text());
+        // E004: recursion.
+        let d = check(&parse("interface t { fn f(n) { return f(n); } }").unwrap());
+        assert!(d.iter().any(|x| x.rule == "E004"));
+        // W001: dead ECV.
+        let d = check(
+            &parse("interface t { ecv hit: bernoulli(0.5); fn f() { return 1 J; } }").unwrap(),
+        );
+        assert!(d.iter().any(|x| x.rule == "W001"));
+        // W002: ECV in a loop bound.
+        let d = check(
+            &parse(
+                "interface t { ecv n: discrete(1: 0.5, 4: 0.5);
+                   fn f() { let e = 0 J; for i in 0..ecv(n) { e = e + 1 J; } return e; } }",
+            )
+            .unwrap(),
+        );
+        assert!(d.iter().any(|x| x.rule == "W002"), "{}", d.render_text());
+    }
+
+    #[test]
+    fn bounded_loops_do_not_fire_e004() {
+        // The bound is declared via input ranges on the caller and flows to
+        // the callee through the call site.
+        let src = "interface t {
+            fn entry(n) { return work(n); }
+            fn work(m) { let e = 0 J; for i in 0..m { e = e + 1 mJ; } return e; }
+        }";
+        let mut iface = parse(src).unwrap();
+        iface.set_input_spec(
+            "entry",
+            crate::interface::InputSpec::new().range("n", 1.0, 64.0),
+        );
+        let d = check(&iface);
+        assert!(!d.iter().any(|x| x.rule == "E004"), "{}", d.render_text());
+    }
+
+    #[test]
+    fn check_program_flags_composition_mismatches() {
+        let ifaces = parse_all(
+            r#"
+            interface upper {
+                extern fn op(a, b);
+                fn f(x) { return op(x, x); }
+            }
+            interface provider {
+                fn op(a) { return a * 2; }
+            }
+            "#,
+        )
+        .unwrap();
+        let d = check_program(&ifaces, &LintOptions::default());
+        let w003: Vec<_> = d.iter().filter(|x| x.rule == "W003").collect();
+        assert_eq!(w003.len(), 1, "{}", d.render_text());
+        assert!(w003[0].message.contains("expects 2 argument(s)"));
+
+        // Matching arity but a count-valued provider is a shape mismatch.
+        let ifaces = parse_all(
+            r#"
+            interface upper {
+                extern fn op(a);
+                fn f(x) { return op(x); }
+            }
+            interface provider {
+                fn op(a) { return a + 2; }
+            }
+            "#,
+        )
+        .unwrap();
+        let d = check_program(&ifaces, &LintOptions::default());
+        assert!(
+            d.iter()
+                .any(|x| x.rule == "W003" && x.message.contains("returns number")),
+            "{}",
+            d.render_text()
+        );
+    }
+
+    #[test]
+    fn diagnostics_point_at_real_positions() {
+        let src = "interface t {\n    fn f(n) {\n        return n + 1 + 5 mJ;\n    }\n}\n";
+        let iface = parse(src).unwrap();
+        let d = check(&iface);
+        let e001 = d.iter().find(|x| x.rule == "E001").unwrap();
+        assert_eq!(e001.span.line, 3);
+        assert_eq!(e001.span.col, 22, "anchored at the second `+` operator");
+    }
+
+    #[test]
+    fn rule_table_is_complete_and_ordered() {
+        let table = rule_table();
+        let ids: Vec<&str> = table.iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec!["E001", "E002", "E003", "E004", "W001", "W002", "W003"]
+        );
+        assert!(table
+            .iter()
+            .all(|r| (r.id.starts_with('E')) == (r.severity == Severity::Error)));
+    }
+}

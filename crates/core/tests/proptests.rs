@@ -10,8 +10,8 @@ use ei_core::dist::EnergyDist;
 use ei_core::ecv::{DistSpec, EcvDecl, EcvEnv};
 use ei_core::interface::Interface;
 use ei_core::interp::{evaluate, evaluate_energy, EvalConfig};
-use ei_core::parser::parse;
-use ei_core::pretty::print_interface;
+use ei_core::parser::{parse, parse_expr};
+use ei_core::pretty::{fmt_eil_num, print_interface};
 use ei_core::units::{Calibration, Energy, EnergyVec};
 use ei_core::value::Value;
 
@@ -92,6 +92,99 @@ fn arb_dist_spec() -> impl Strategy<Value = DistSpec> {
     ]
 }
 
+/// Arbitrary finite non-negative f64, drawn from raw bit patterns so the
+/// full exponent range (denormals included) is exercised.
+fn arb_pos_float() -> impl Strategy<Value = f64> {
+    any::<u64>()
+        .prop_map(|b| f64::from_bits(b & !(1u64 << 63)))
+        .prop_filter("finite", |v| v.is_finite())
+}
+
+/// Unit names that cannot collide with keywords, energy suffixes, or the
+/// variable names the rich generator uses.
+fn arb_unit_name() -> impl Strategy<Value = String> {
+    arb_ident().prop_map(|s| format!("u_{s}"))
+}
+
+/// A two-function interface exercising units, energy literals (with
+/// extreme-magnitude floats), both loop forms, if/else, and a
+/// cross-function call — everything the printer must round-trip.
+///
+/// Leaves arrive as raw `(concrete?, unit pick, magnitude)` triples and are
+/// resolved against the generated unit set inside the map (the vendored
+/// strategy combinators have no `prop_flat_map`).
+fn arb_rich_interface() -> impl Strategy<Value = Interface> {
+    (
+        proptest::collection::btree_set(arb_unit_name(), 1..3),
+        proptest::collection::vec((any::<bool>(), any::<u64>(), arb_pos_float()), 3),
+        (arb_lit(), 1u32..24, 1u64..8, any::<bool>()),
+    )
+        .prop_map(|(units, raw_leaves, (thr, trips, bound, use_while))| {
+            let names: Vec<&String> = units.iter().collect();
+            let leaves: Vec<Expr> = raw_leaves
+                .into_iter()
+                .map(|(concrete, pick, v)| {
+                    if concrete {
+                        Expr::Joules(v)
+                    } else {
+                        Expr::Unit(names[pick as usize % names.len()].clone(), v)
+                    }
+                })
+                .collect();
+            let mut i = Interface::new("rich");
+            for u in &units {
+                i.add_unit(u.clone());
+            }
+            let accumulate = Stmt::Assign(
+                "e".into(),
+                Expr::bin(BinOp::Add, Expr::var("e"), leaves[0].clone()),
+            );
+            let looped = if use_while {
+                Stmt::While {
+                    cond: Expr::bin(BinOp::Lt, Expr::var("x"), Expr::Num(thr)),
+                    bound,
+                    body: vec![accumulate],
+                }
+            } else {
+                Stmt::For {
+                    var: "i".into(),
+                    from: Expr::Num(0.0),
+                    to: Expr::Num(f64::from(trips)),
+                    body: vec![accumulate],
+                }
+            };
+            i.add_fn(FnDef::new(
+                "work",
+                vec!["x".into()],
+                vec![
+                    Stmt::Let("e".into(), Expr::Joules(0.0)),
+                    looped,
+                    Stmt::If(
+                        Expr::bin(BinOp::Lt, Expr::var("x"), Expr::Num(thr)),
+                        vec![Stmt::Return(Expr::var("e"))],
+                        vec![Stmt::Return(Expr::bin(
+                            BinOp::Add,
+                            Expr::var("e"),
+                            leaves[1].clone(),
+                        ))],
+                    ),
+                ],
+            ))
+            .unwrap();
+            i.add_fn(FnDef::new(
+                "top",
+                vec!["y".into()],
+                vec![Stmt::Return(Expr::bin(
+                    BinOp::Add,
+                    Expr::Call("work".into(), vec![Expr::var("y")]),
+                    leaves[2].clone(),
+                ))],
+            ))
+            .unwrap();
+            i
+        })
+}
+
 // ---------------------------------------------------------------------------
 // Printer / parser round-trip
 // ---------------------------------------------------------------------------
@@ -122,6 +215,25 @@ proptest! {
         let printed = print_interface(&iface);
         let reparsed = parse(&printed).expect("must re-parse");
         prop_assert_eq!(iface, reparsed, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn print_parse_roundtrip_rich(iface in arb_rich_interface()) {
+        let printed = print_interface(&iface);
+        let reparsed = parse(&printed).expect("rich interface must re-parse");
+        prop_assert_eq!(&iface, &reparsed, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn fmt_eil_num_roundtrips_arbitrary_floats(bits: u64) {
+        let v = f64::from_bits(bits);
+        prop_assume!(v.is_finite());
+        let e = parse_expr(&fmt_eil_num(v)).expect("EIL numeral must parse");
+        let got = match e {
+            Expr::Num(x) => x,
+            other => panic!("parsed to non-literal {other:?}"),
+        };
+        prop_assert_eq!(got.to_bits(), v.to_bits(), "{} reparsed as {}", v, got);
     }
 
     // -----------------------------------------------------------------------

@@ -35,6 +35,11 @@ pub struct BugReport {
     pub bugs: Vec<EnergyBug>,
     /// Largest |ratio - 1| observed, bug or not.
     pub max_deviation: f64,
+    /// `eil-sema` diagnostics for the hunted interface, rendered as text
+    /// lines. Static defects (unit mismatches, possibly-negative energy)
+    /// often explain dynamic divergences, so the detector surfaces them
+    /// alongside the runtime bugs.
+    pub lint: Vec<String>,
 }
 
 impl BugReport {
@@ -122,10 +127,16 @@ pub fn detect_energy_bugs(
             });
         }
     }
+    let lint_opts = ei_core::sema::LintOptions::with_calibration(config.eval.calibration.clone());
+    let lint = ei_core::sema::check_with(iface, &lint_opts)
+        .iter()
+        .map(|d| d.text_line())
+        .collect();
     Ok(BugReport {
         checked: inputs.len(),
         bugs,
         max_deviation,
+        lint,
     })
 }
 

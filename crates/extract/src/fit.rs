@@ -165,6 +165,9 @@ pub struct InterfaceFitReport {
     pub mean_rel_error: f64,
     /// Maximum relative error.
     pub max_rel_error: f64,
+    /// `eil-sema` diagnostics for the validated interface, rendered as
+    /// text lines (empty when the interface lints clean).
+    pub lint: Vec<String>,
 }
 
 /// Validates an emitted interface against held-out measurements.
@@ -218,10 +221,16 @@ pub fn validate_interface(
         .collect();
     let mean_rel_error = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
     let max_rel_error = rel_errors.iter().cloned().fold(0.0, f64::max);
+    let lint_opts = ei_core::sema::LintOptions::with_calibration(config.calibration.clone());
+    let lint = ei_core::sema::check_with(iface, &lint_opts)
+        .iter()
+        .map(|d| d.text_line())
+        .collect();
     Ok(InterfaceFitReport {
         rel_errors,
         mean_rel_error,
         max_rel_error,
+        lint,
     })
 }
 

@@ -520,7 +520,7 @@ pub fn fig1_interface_faulted(
 
             fn cnn_forward(request) {{
                 let n_embedding = 256;
-                let nonzero = request.image_size - request.image_zeros;
+                let nonzero = max(request.image_size - request.image_zeros, 0);
                 if gpu_brownout {{
                     if degraded {{
                         return 4 * conv2d_br(nonzero)

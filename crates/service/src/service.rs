@@ -169,7 +169,7 @@ pub fn fig1_interface(
 
             fn cnn_forward(request) {{
                 let n_embedding = 256;
-                let nonzero = request.image_size - request.image_zeros;
+                let nonzero = max(request.image_size - request.image_zeros, 0);
                 return 8 * conv2d_e(nonzero)
                      + 8 relu * (n_embedding / 256)
                      + 16 mlp * (n_embedding / 256);
