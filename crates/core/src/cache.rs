@@ -49,6 +49,7 @@ use crate::interface::Interface;
 use crate::interp::{evaluate_energy, expected_energy, EvalConfig};
 use crate::units::Energy;
 use crate::value::Value;
+use crate::vm;
 
 /// 64-bit FNV-1a running hash.
 #[derive(Clone, Copy)]
@@ -182,6 +183,11 @@ fn hash_env(h: &mut Fnv, env: &EcvEnv) {
 }
 
 /// Hashes the evaluation config: fuel, depth, and all calibration entries.
+///
+/// Deliberately does **not** hash [`EvalConfig::mode`]: the engines are
+/// result-identical by contract (enforced by the VM differential suites),
+/// so a result computed by one engine is a valid cache answer for the
+/// other.
 fn hash_config(h: &mut Fnv, config: &EvalConfig) {
     h.write_u64(config.fuel);
     h.write_u64(config.max_depth as u64);
@@ -210,6 +216,7 @@ pub struct CacheStats {
 pub struct EvalCache {
     links: Mutex<HashMap<u64, Arc<Interface>>>,
     energies: Mutex<HashMap<u64, Energy>>,
+    programs: Mutex<HashMap<u64, Arc<vm::Program>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -242,6 +249,32 @@ impl EvalCache {
     pub fn clear(&self) {
         self.links.lock().clear();
         self.energies.lock().clear();
+        self.programs.lock().clear();
+    }
+
+    /// Memoized [`vm::compile`]: the compiled bytecode for an interface,
+    /// keyed by its content fingerprint.
+    ///
+    /// The sampling drivers compile internally per call; this entry point
+    /// is for callers that hold one program across many queries — serving
+    /// recompute paths, candidate ranking, benches. The returned
+    /// [`vm::Program::fingerprint`] identifies the compiled artifact
+    /// itself, so recompiles of an unchanged interface can be
+    /// cross-checked for determinism.
+    pub fn program_cached(&self, iface: &Interface) -> Result<Arc<vm::Program>> {
+        let mut h = Fnv::new();
+        h.write_u64(40);
+        h.write_u64(fingerprint_interface(iface));
+        let key = h.0;
+
+        if let Some(found) = self.programs.lock().get(&key) {
+            self.hit();
+            return Ok(Arc::clone(found));
+        }
+        self.miss();
+        let program = Arc::new(vm::compile(iface)?);
+        self.programs.lock().insert(key, Arc::clone(&program));
+        Ok(program)
     }
 
     /// Memoized [`link`]: returns the cached composition when the same
@@ -444,6 +477,61 @@ mod tests {
             .unwrap();
         let direct = expected_energy(&iface, "cost", &[Value::Num(2.0)], &cfg).unwrap();
         assert_eq!(warm, direct);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn program_cache_hits_and_is_mutation_sensitive() {
+        let cache = EvalCache::new();
+        let cold = cache.program_cached(&toy()).unwrap();
+        let warm = cache.program_cached(&toy()).unwrap();
+        assert_eq!(cold.fingerprint(), warm.fingerprint());
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+
+        // A recompile outside the cache reproduces the same artifact.
+        assert_eq!(
+            vm::compile(&toy()).unwrap().fingerprint(),
+            cold.fingerprint()
+        );
+
+        let edited = parse(
+            r#"
+            interface toy "toy" {
+                fn cost(n) { return 3 mJ * n; }
+            }
+            "#,
+        )
+        .unwrap();
+        let other = cache.program_cached(&edited).unwrap();
+        assert_ne!(other.fingerprint(), cold.fingerprint());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_energy_serves_both_engines() {
+        use crate::interp::ExecMode;
+        let iface = toy();
+        let cache = EvalCache::new();
+        let walk = EvalConfig {
+            mode: ExecMode::TreeWalk,
+            ..EvalConfig::default()
+        };
+        let compiled = EvalConfig {
+            mode: ExecMode::Compiled,
+            ..EvalConfig::default()
+        };
+        let env = EcvEnv::from_decls(&iface.ecvs);
+        let args = [Value::Num(8.0)];
+        let a = cache
+            .evaluate_energy_cached(&iface, "cost", &args, &env, 9, &walk)
+            .unwrap();
+        // Same key despite the different mode: engines are
+        // result-identical, so the tree-walk answer is served.
+        let b = cache
+            .evaluate_energy_cached(&iface, "cost", &args, &env, 9, &compiled)
+            .unwrap();
+        assert_eq!(a, b);
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
     }
 

@@ -22,6 +22,7 @@ use crate::error::{Error, NameKind, Result};
 use crate::interface::Interface;
 use crate::units::{Calibration, Energy, EnergyVec, InternedCalibration};
 use crate::value::Value;
+use crate::vm;
 
 /// Default fuel budget: enough for hundreds of thousands of statements.
 pub const DEFAULT_FUEL: u64 = 10_000_000;
@@ -33,6 +34,26 @@ pub const DEFAULT_FUEL: u64 = 10_000_000;
 /// frames per EIL call, so the default is deliberately conservative.
 pub const DEFAULT_MAX_DEPTH: usize = 64;
 
+/// Which evaluation engine runs an interface.
+///
+/// The tree-walk interpreter is the semantic reference; the bytecode VM
+/// ([`crate::vm`]) is a bit-identical compiled engine held to it by
+/// differential tests. Every mode produces the same values, errors, fuel
+/// boundaries, and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Sampling drivers (`monte_carlo`, `evaluate_batch`,
+    /// `enumerate_exact`) compile once and amortize; single-shot
+    /// evaluation stays on the tree-walk, where compiling would cost more
+    /// than it saves.
+    #[default]
+    Auto,
+    /// Always execute compiled bytecode; compilation errors surface.
+    Compiled,
+    /// Always walk the AST (the differential oracle).
+    TreeWalk,
+}
+
 /// Interpreter configuration.
 #[derive(Debug, Clone)]
 pub struct EvalConfig {
@@ -42,6 +63,9 @@ pub struct EvalConfig {
     pub max_depth: usize,
     /// Calibration applied when reducing results to Joules.
     pub calibration: Calibration,
+    /// Engine selection (not part of the eval-cache key: engines are
+    /// result-identical by contract).
+    pub mode: ExecMode,
 }
 
 impl Default for EvalConfig {
@@ -50,6 +74,7 @@ impl Default for EvalConfig {
             fuel: DEFAULT_FUEL,
             max_depth: DEFAULT_MAX_DEPTH,
             calibration: Calibration::empty(),
+            mode: ExecMode::Auto,
         }
     }
 }
@@ -282,7 +307,7 @@ impl<'a> Eval<'a> {
 }
 
 /// Evaluates a unary operation.
-fn eval_unary(op: UnOp, v: Value) -> Result<Value> {
+pub(crate) fn eval_unary(op: UnOp, v: Value) -> Result<Value> {
     match op {
         UnOp::Neg => match v {
             Value::Num(n) => Ok(Value::Num(-n)),
@@ -301,7 +326,7 @@ fn eval_unary(op: UnOp, v: Value) -> Result<Value> {
 /// plain numeric arithmetic; comparisons work on numbers, energies (concrete
 /// Joule parts compared after requiring concreteness), and booleans for
 /// equality.
-fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value> {
+pub(crate) fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value> {
     use BinOp::*;
     match op {
         Add | Sub => match (a, b) {
@@ -509,7 +534,21 @@ pub fn eval_builtin(b: Builtin, args: &[Value]) -> Result<Value> {
             }
         }
         Builtin::Joules => Ok(Value::joules(num(0)?)),
-        Builtin::Clamp => Ok(Value::Num(num(0)?.clamp(num(1)?, num(2)?))),
+        Builtin::Clamp => {
+            let x = num(0)?;
+            let lo = num(1)?;
+            let hi = num(2)?;
+            // `f64::clamp` panics on an inverted or NaN range; surface it
+            // as an evaluation error instead (NaN bounds are rejected
+            // explicitly since `lo > hi` is false for them).
+            if lo > hi || lo.is_nan() || hi.is_nan() {
+                return Err(Error::Type {
+                    expected: "clamp bounds with lo <= hi",
+                    got: format!("lo {lo:?}, hi {hi:?}"),
+                });
+            }
+            Ok(Value::Num(x.clamp(lo, hi)))
+        }
     }
 }
 
@@ -523,6 +562,14 @@ pub fn eval_with_assignment(
     ecvs: &BTreeMap<String, EcvValue>,
     config: &EvalConfig,
 ) -> Result<Value> {
+    if config.mode == ExecMode::Compiled {
+        // One-shot compiled evaluation; callers that evaluate repeatedly
+        // should go through a sampling driver or the eval cache, which
+        // amortize the compile.
+        let program = vm::compile(iface)?;
+        let mut machine = vm::Vm::new(&program);
+        return vm_eval(&mut machine, func, args, ecvs, config);
+    }
     let mut ev = Eval {
         iface,
         ecvs,
@@ -540,6 +587,39 @@ pub fn eval_with_assignment(
         );
     }
     result
+}
+
+/// Runs one compiled evaluation with the same telemetry as the
+/// tree-walk's [`eval_with_assignment`] — the trace must not reveal which
+/// engine ran.
+fn vm_eval(
+    machine: &mut vm::Vm<'_>,
+    func: &str,
+    args: &[Value],
+    ecvs: &BTreeMap<String, EcvValue>,
+    config: &EvalConfig,
+) -> Result<Value> {
+    let result = machine.run(func, args, ecvs, config);
+    if telemetry::enabled() {
+        telemetry::counter_add("core.interp.evals", 1);
+        telemetry::observe_ticks(
+            "core.interp.fuel_per_eval",
+            &telemetry::FUEL,
+            machine.fuel_used(),
+        );
+    }
+    result
+}
+
+/// Resolves the engine for a sampling driver: compile once up front (and
+/// under [`ExecMode::Auto`], fall back to the tree-walk if compilation
+/// declines), or `None` to walk the tree per sample.
+fn prepare_engine(iface: &Interface, config: &EvalConfig) -> Result<Option<vm::Program>> {
+    match config.mode {
+        ExecMode::TreeWalk => Ok(None),
+        ExecMode::Compiled => Ok(Some(vm::compile(iface)?)),
+        ExecMode::Auto => Ok(vm::compile(iface).ok()),
+    }
 }
 
 /// Evaluates `iface.func(args)` once, sampling unpinned ECVs with `seed`.
@@ -610,6 +690,7 @@ fn mc_chunk(
     seed: u64,
     chunk_index: u64,
     config: &EvalConfig,
+    program: Option<&vm::Program>,
     cal: &InternedCalibration,
     parent: &str,
 ) -> Result<Vec<Energy>> {
@@ -618,11 +699,54 @@ fn mc_chunk(
     // inline or on a worker thread.
     let mut sp = telemetry::span_indexed(parent, SpanKind::McChunk, func, chunk_index);
     telemetry::counter_add("core.interp.mc_chunks", 1);
+    // One VM per chunk, reused across its samples: frame and scratch
+    // allocations are paid once, which is most of the compiled speedup.
+    let mut machine = program.map(vm::Vm::new);
+    // Sampling-aware reuse: evaluation is deterministic per ECV
+    // assignment, so the compiled loop replays the result of a
+    // previously seen assignment instead of re-executing (Bernoulli and
+    // discrete ECVs — and the no-ECV case — collapse to a handful of
+    // distinct assignments per chunk; continuous ECVs never repeat and
+    // pay only a hash probe). The replay re-emits the run's telemetry,
+    // so the trace cannot reveal the reuse. Keys are the assignment's
+    // raw bits in BTreeMap order; each ECV's value kind is fixed by its
+    // distribution, so bool/num encodings cannot collide positionally.
+    let mut seen: std::collections::HashMap<Vec<u64>, (Value, u64)> =
+        std::collections::HashMap::new();
     let mut rng = StdRng::seed_from_u64(mc_chunk_seed(seed, chunk_index));
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         let assignment = env.sample_assignment(&mut rng);
-        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        let v = match machine.as_mut() {
+            Some(m) => {
+                let key: Vec<u64> = assignment
+                    .values()
+                    .map(|ev| match ev {
+                        EcvValue::Bool(b) => *b as u64,
+                        EcvValue::Num(x) => x.to_bits(),
+                    })
+                    .collect();
+                match seen.get(&key) {
+                    Some((v, fuel_used)) => {
+                        if telemetry::enabled() {
+                            telemetry::counter_add("core.interp.evals", 1);
+                            telemetry::observe_ticks(
+                                "core.interp.fuel_per_eval",
+                                &telemetry::FUEL,
+                                *fuel_used,
+                            );
+                        }
+                        v.clone()
+                    }
+                    None => {
+                        let v = vm_eval(m, func, args, &assignment, config)?;
+                        seen.insert(key, (v.clone(), m.fuel_used()));
+                        v
+                    }
+                }
+            }
+            None => eval_with_assignment(iface, func, args, &assignment, config)?,
+        };
         let e = v.into_energy()?.calibrate_interned(cal)?;
         telemetry::observe(
             "core.interp.sample_energy_j",
@@ -651,6 +775,7 @@ pub fn monte_carlo(
     seed: u64,
     config: &EvalConfig,
 ) -> Result<EnergyDist> {
+    let program = prepare_engine(iface, config)?;
     let mut sp = telemetry::span(SpanKind::Mc, func);
     sp.add_items(n as u64);
     telemetry::counter_add("core.interp.mc_samples", n as u64);
@@ -668,6 +793,7 @@ pub fn monte_carlo(
             seed,
             chunk_index as u64,
             config,
+            program.as_ref(),
             &cal,
             &parent,
         )?);
@@ -707,6 +833,7 @@ pub fn monte_carlo_par(
         return monte_carlo(iface, func, args, env, n, seed, config);
     }
 
+    let program = prepare_engine(iface, config)?;
     let mut sp = telemetry::span(SpanKind::Mc, func);
     sp.add_items(n as u64);
     telemetry::counter_add("core.interp.mc_samples", n as u64);
@@ -718,6 +845,7 @@ pub fn monte_carlo_par(
 
     std::thread::scope(|scope| {
         let (cursor, slots, cal, parent) = (&cursor, &slots, &cal, parent.as_str());
+        let program = program.as_ref();
         for _ in 0..n_threads.min(n_chunks) {
             scope.spawn(move || {
                 loop {
@@ -736,6 +864,7 @@ pub fn monte_carlo_par(
                         seed,
                         chunk_index as u64,
                         config,
+                        program,
                         cal,
                         parent,
                     );
@@ -779,6 +908,8 @@ pub fn evaluate_batch(
     seed: u64,
     config: &EvalConfig,
 ) -> Result<Vec<Energy>> {
+    let program = prepare_engine(iface, config)?;
+    let mut machine = program.as_ref().map(vm::Vm::new);
     let mut sp = telemetry::span(SpanKind::EnergyQuery, func);
     sp.add_items(argsets.len() as u64);
     telemetry::counter_add("core.interp.batch_evals", argsets.len() as u64);
@@ -787,7 +918,10 @@ pub fn evaluate_batch(
     let cal = config.calibration.intern();
     let mut out = Vec::with_capacity(argsets.len());
     for args in argsets {
-        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        let v = match machine.as_mut() {
+            Some(m) => vm_eval(m, func, args, &assignment, config)?,
+            None => eval_with_assignment(iface, func, args, &assignment, config)?,
+        };
         let e = v.into_energy()?.calibrate_interned(&cal)?;
         sp.record_energy(e.as_joules());
         out.push(e);
@@ -806,12 +940,17 @@ pub fn enumerate_exact(
     config: &EvalConfig,
 ) -> Result<EnergyDist> {
     let assignments = env.enumerate_assignments(limit)?;
+    let program = prepare_engine(iface, config)?;
+    let mut machine = program.as_ref().map(vm::Vm::new);
     let mut sp = telemetry::span(SpanKind::EnergyQuery, func);
     sp.add_items(assignments.len() as u64);
     telemetry::counter_add("core.interp.exact_enumerations", 1);
     let mut outcomes = Vec::with_capacity(assignments.len());
     for (assignment, p) in assignments {
-        let v = eval_with_assignment(iface, func, args, &assignment, config)?;
+        let v = match machine.as_mut() {
+            Some(m) => vm_eval(m, func, args, &assignment, config)?,
+            None => eval_with_assignment(iface, func, args, &assignment, config)?,
+        };
         outcomes.push((v.into_energy()?.calibrate(&config.calibration)?, p));
     }
     Ok(EnergyDist::mixture(outcomes))

@@ -59,6 +59,7 @@ pub mod span;
 pub mod stack;
 pub mod units;
 pub mod value;
+pub mod vm;
 
 pub use cache::EvalCache;
 pub use dist::EnergyDist;

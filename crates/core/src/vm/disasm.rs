@@ -1,0 +1,167 @@
+//! A byte-stable textual disassembly of compiled programs.
+//!
+//! The format is locked by golden tests (`tests/golden/vm/`): any codegen
+//! change shows up as a reviewable diff. Registers print as `rN` with a
+//! `:name` suffix for named locals; fuel weights print as `[+w]` and are
+//! omitted when zero; constants and traps are listed per chunk before the
+//! instruction stream.
+
+use std::fmt::Write;
+
+use crate::value::Value;
+
+use super::chunk::{Chunk, Instr, Program};
+
+/// Renders `p` as stable text.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ";; program {}", p.name);
+    let _ = writeln!(out, ";; fingerprint {:#018x}", p.fingerprint());
+    let _ = writeln!(out, ";; units [{}]", p.units.join(" "));
+    let _ = writeln!(out, ";; ecvs [{}]", p.ecv_names.join(" "));
+    let externs: Vec<&str> = p.externs.iter().map(String::as_str).collect();
+    let _ = writeln!(out, ";; externs [{}]", externs.join(" "));
+    for (id, c) in p.chunks.iter().enumerate() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "fn {}/{} {{ chunk {id}, regs {}, counters {} }}",
+            c.name, c.arity, c.n_regs, c.n_counters
+        );
+        for (k, v) in c.consts.iter().enumerate() {
+            let _ = writeln!(out, "  const k{k} = {}", value(v));
+        }
+        for (t, e) in c.traps.iter().enumerate() {
+            let _ = writeln!(out, "  trap t{t} = {e}");
+        }
+        for (pc, i) in c.code.iter().enumerate() {
+            let w = c.fuel[pc];
+            let fuel = if w > 0 {
+                format!(" [+{w}]")
+            } else {
+                String::new()
+            };
+            let _ = writeln!(out, "  {pc:04}{fuel} {}", instr(p, c, i));
+        }
+    }
+    out
+}
+
+/// Stable rendering of a constant-pool value.
+fn value(v: &Value) -> String {
+    match v {
+        Value::Num(n) => format!("num({})", f64_repr(*n)),
+        Value::Bool(b) => format!("bool({b})"),
+        Value::Energy(e) => {
+            let mut s = format!("energy({} J", f64_repr(e.joules));
+            for (u, a) in &e.abstracts {
+                let _ = write!(s, ", {} {u}", f64_repr(*a));
+            }
+            s.push(')');
+            s
+        }
+        Value::Record(r) => {
+            let fields: Vec<String> = r
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", value(v)))
+                .collect();
+            format!("record({})", fields.join(", "))
+        }
+    }
+}
+
+/// Bit-faithful float rendering: distinguishes `-0.0` and round-trips
+/// exactly, so golden stability does not depend on `Display` shortening.
+fn f64_repr(n: f64) -> String {
+    if n == n.floor() && n.is_finite() && n.abs() < 1e15 {
+        if n == 0.0 && n.is_sign_negative() {
+            "-0".to_string()
+        } else {
+            format!("{n:.0}")
+        }
+    } else {
+        format!("{n:?}")
+    }
+}
+
+fn instr(p: &Program, c: &Chunk, i: &Instr) -> String {
+    let r = |reg: u32| -> String {
+        match c.reg_names.get(reg as usize).copied().flatten() {
+            Some(sym) => format!("r{reg}:{}", p.symbols[sym as usize]),
+            None => format!("r{reg}"),
+        }
+    };
+    match i {
+        Instr::Nop => "nop".to_string(),
+        Instr::Const { dst, k } => format!("const        {} <- k{k}", r(*dst)),
+        Instr::Copy { dst, src } => format!("copy         {} <- {}", r(*dst), r(*src)),
+        Instr::Ecv { dst, e } => format!(
+            "ecv          {} <- ecv[{}]:{}",
+            r(*dst),
+            e,
+            p.ecv_names[*e as usize]
+        ),
+        Instr::Field { dst, src, sym } => format!(
+            "field        {} <- {}.{}",
+            r(*dst),
+            r(*src),
+            p.symbols[*sym as usize]
+        ),
+        Instr::Neg { dst, src } => format!("neg          {} <- {}", r(*dst), r(*src)),
+        Instr::Not { dst, src } => format!("not          {} <- {}", r(*dst), r(*src)),
+        Instr::Bin { op, dst, a, b } => format!(
+            "bin.{:<8} {} <- {}, {}",
+            format!("{op:?}").to_lowercase(),
+            r(*dst),
+            r(*a),
+            r(*b)
+        ),
+        Instr::AsBool { dst, src } => format!("asbool       {} <- {}", r(*dst), r(*src)),
+        Instr::CheckVar { src } => format!("checkvar     {}", r(*src)),
+        Instr::CheckNum { src } => format!("checknum     {}", r(*src)),
+        Instr::Jump { target } => format!("jump         -> {target:04}"),
+        Instr::JumpIfFalse { cond, target } => {
+            format!("jfalse       {} -> {target:04}", r(*cond))
+        }
+        Instr::JumpIfTrue { cond, target } => {
+            format!("jtrue        {} -> {target:04}", r(*cond))
+        }
+        Instr::Builtin { b, dst, base, n } => format!(
+            "builtin      {} <- {}(r{base}..r{})",
+            r(*dst),
+            b.name(),
+            base + n
+        ),
+        Instr::CallBuiltin { b, dst, base, n } => format!(
+            "callbuiltin  {} <- {}(r{base}..r{})",
+            r(*dst),
+            b.name(),
+            base + n
+        ),
+        Instr::Call { f, dst, base, n } => format!(
+            "call         {} <- {}(r{base}..r{})",
+            r(*dst),
+            p.chunks[*f as usize].name,
+            base + n
+        ),
+        Instr::ForInit { i, from, to } => format!(
+            "forinit      {} <- floor({}), to {}",
+            r(*i),
+            r(*from),
+            r(*to)
+        ),
+        Instr::ForTest { i, to, var, exit } => format!(
+            "fortest      {} < {} ? {} else -> {exit:04}",
+            r(*i),
+            r(*to),
+            r(*var)
+        ),
+        Instr::ForStep { i, back } => format!("forstep      {} -> {back:04}", r(*i)),
+        Instr::ResetTrips { c } => format!("resettrips   c{c}"),
+        Instr::WhileGuard { c, bound } => format!("whileguard   c{c} bound {bound}"),
+        Instr::Return { src } => format!("return       {}", r(*src)),
+        Instr::Trap { t } => format!("trap         t{t}"),
+        Instr::TrapCall { t } => format!("trapcall     t{t}"),
+        Instr::FellOff => "felloff".to_string(),
+    }
+}

@@ -1,0 +1,347 @@
+//! A register bytecode VM for EIL, with the tree-walk interpreter as its
+//! differential-testing oracle.
+//!
+//! The paper's position is that energy interfaces must be cheap enough to
+//! query *inside* resource-manager control loops. The tree-walk
+//! interpreter in [`crate::interp`] re-walks the AST (hash lookups,
+//! `BTreeMap` locals, enum dispatch per node) on every Monte-Carlo
+//! sample, which makes it the bottleneck of the Table 1 sweep and every
+//! serving-path recompute. This module compiles a type-checked interface
+//! once into a compact register [`Program`] and executes it with a reused
+//! [`Vm`], removing per-sample allocation and name resolution while
+//! keeping the interpreter's semantics — including error variants,
+//! messages, and fuel-exhaustion boundaries — bit for bit.
+//!
+//! Pipeline:
+//!
+//! - [`compile`] (`lower.rs`): register allocation, interpreter-exact
+//!   constant folding, branch and loop-bound specialization (fed by the
+//!   sema interval analysis), and static per-instruction fuel weights.
+//! - [`Program`]/[`Instr`] (`chunk.rs`): the chunk arena, interned symbol
+//!   and calibration/ECV slot tables, and the artifact fingerprint used
+//!   by the eval cache.
+//! - [`Vm`] (`exec.rs`): the reusable executor; arithmetic defers to the
+//!   interpreter's own kernels so the two engines cannot drift.
+//! - [`disassemble`] (`disasm.rs`): byte-stable text for golden tests.
+//!
+//! The interpreter stays authoritative: `tests/vm_differential.rs` and
+//! `tests/vm_errors.rs` hold the two engines bit-identical on generated
+//! and adversarial inputs, and [`crate::interp::EvalConfig::mode`]
+//! selects the engine at every public entry point.
+
+mod chunk;
+mod disasm;
+mod exec;
+mod lower;
+
+pub use chunk::{Chunk, Instr, Program};
+pub use disasm::disassemble;
+pub use exec::Vm;
+pub use lower::{compile, UNROLL_BODY_BUDGET, UNROLL_MAX_TRIPS};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+    use crate::ecv::{EcvEnv, EcvValue};
+    use crate::error::Error;
+    use crate::interp::{self, EvalConfig, ExecMode};
+    use crate::parser::parse;
+    use crate::units::{Calibration, Energy};
+    use crate::value::Value;
+
+    /// A grab-bag interface covering loops (unrollable and not), branches,
+    /// short-circuiting, recursion, builtins, units, and ECVs.
+    const KITCHEN_SINK: &str = r#"interface sink {
+        unit page;
+        ecv hit: bernoulli(0.5);
+        ecv scale: uniform(0.5, 2.0);
+        fn fact(n) {
+            if n <= 1 { return 1; }
+            return n * fact(n - 1);
+        }
+        fn looped(n) {
+            let acc = 0;
+            for i in 0..n { acc = acc + i * i; }
+            let j = 0;
+            while j < 5 bound 16 { j = j + 2; }
+            return acc + j;
+        }
+        fn unrolled() {
+            let e = 0 J;
+            for i in 0..4 { e = e + 3 uJ + 1 page; }
+            return e;
+        }
+        fn logic(a, b) {
+            if a > 0 && b > 0 { return min(a, b); }
+            if a < 0 || b < 0 { return max(a, b); }
+            return clamp(a + b, 0, 10);
+        }
+        fn sampled(n) {
+            let base = if ecv(hit) { 1 mJ } else { 10 mJ };
+            return base * n * ecv(scale) + fact(4) * 1 uJ;
+        }
+    }"#;
+
+    fn assignment(hit: bool, scale: f64) -> BTreeMap<String, EcvValue> {
+        let mut m = BTreeMap::new();
+        m.insert("hit".to_string(), EcvValue::Bool(hit));
+        m.insert("scale".to_string(), EcvValue::Num(scale));
+        m
+    }
+
+    fn tree_cfg() -> EvalConfig {
+        EvalConfig {
+            mode: ExecMode::TreeWalk,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Runs both engines on the same call and requires identical outcomes
+    /// (bit-exact values; equal error variants and payloads).
+    fn differential(
+        src: &str,
+        func: &str,
+        args: &[Value],
+        ecvs: &BTreeMap<String, EcvValue>,
+        fuel: u64,
+    ) {
+        let iface = parse(src).expect("test interface parses");
+        let cfg = EvalConfig {
+            fuel,
+            mode: ExecMode::TreeWalk,
+            ..EvalConfig::default()
+        };
+        let oracle = interp::eval_with_assignment(&iface, func, args, ecvs, &cfg);
+        let program = compile(&iface).expect("compiles");
+        let mut machine = Vm::new(&program);
+        let got = machine.run(func, args, ecvs, &cfg);
+        assert_eq!(
+            oracle,
+            got,
+            "{func} diverged at fuel {fuel}\n{}",
+            disassemble(&program)
+        );
+        if oracle.is_ok() {
+            // Fuel parity matters even on success: it feeds telemetry.
+            let mut ev_cfg = cfg.clone();
+            ev_cfg.fuel = fuel;
+            let used_tree = {
+                // Re-derive the oracle's fuel use from the tightest budget
+                // that still succeeds (scanned below), here just compare
+                // via the VM's own accounting against a re-run.
+                machine.run(func, args, ecvs, &ev_cfg).unwrap();
+                machine.fuel_used()
+            };
+            assert_eq!(machine.fuel_used(), used_tree);
+        }
+    }
+
+    /// Scans every fuel budget from 0 to success and requires both engines
+    /// to flip from `FuelExhausted` to the same value at the same budget.
+    fn fuel_boundary_scan(
+        src: &str,
+        func: &str,
+        args: &[Value],
+        ecvs: &BTreeMap<String, EcvValue>,
+    ) {
+        let iface = parse(src).expect("parses");
+        let program = compile(&iface).expect("compiles");
+        let mut machine = Vm::new(&program);
+        for fuel in 0..2_000u64 {
+            let cfg = EvalConfig {
+                fuel,
+                mode: ExecMode::TreeWalk,
+                ..EvalConfig::default()
+            };
+            let oracle = interp::eval_with_assignment(&iface, func, args, ecvs, &cfg);
+            let got = machine.run(func, args, ecvs, &cfg);
+            assert_eq!(oracle, got, "{func} diverged at fuel budget {fuel}");
+            if oracle.is_ok() {
+                return; // boundary crossed identically
+            }
+        }
+        panic!("{func} never succeeded within the scanned fuel range");
+    }
+
+    #[test]
+    fn kitchen_sink_values_match() {
+        for (func, args) in [
+            ("fact", vec![Value::Num(6.0)]),
+            ("looped", vec![Value::Num(9.0)]),
+            ("unrolled", vec![]),
+            ("logic", vec![Value::Num(3.0), Value::Num(4.0)]),
+            ("logic", vec![Value::Num(-3.0), Value::Num(4.0)]),
+            ("logic", vec![Value::Num(0.0), Value::Num(0.0)]),
+            ("sampled", vec![Value::Num(2.0)]),
+        ] {
+            for (hit, scale) in [(true, 0.75), (false, 1.5)] {
+                differential(
+                    KITCHEN_SINK,
+                    func,
+                    &args,
+                    &assignment(hit, scale),
+                    10_000_000,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kitchen_sink_fuel_boundaries_match() {
+        for (func, args) in [
+            ("fact", vec![Value::Num(6.0)]),
+            ("looped", vec![Value::Num(9.0)]),
+            ("unrolled", vec![]),
+            ("logic", vec![Value::Num(-3.0), Value::Num(4.0)]),
+            ("sampled", vec![Value::Num(2.0)]),
+        ] {
+            fuel_boundary_scan(KITCHEN_SINK, func, &args, &assignment(true, 1.25));
+        }
+    }
+
+    #[test]
+    fn runtime_errors_match_the_oracle() {
+        let src = r#"interface bad {
+            extern fn phantom(x);
+            fn div(a, b) { return a / b; }
+            fn modz(a) { return a % 0; }
+            fn recurse(n) { return recurse(n + 1); }
+            fn unbounded() {
+                let i = 0;
+                while i < 10 bound 3 { i = i + 1; }
+                return i;
+            }
+            fn badfor(n) { for i in 0..sqrt(0-1) { n = n + 1; } return n; }
+            fn noreturn(n) { let x = n; }
+            fn undefvar() { return ghost + 1; }
+            fn assignless() { x = 3; return x; }
+            fn unlinked(n) { return phantom(n); }
+            fn badbool(n) { if n { return 1; } return 0; }
+        }"#;
+        let cases: Vec<(&str, Vec<Value>)> = vec![
+            ("div", vec![Value::Num(1.0), Value::Num(0.0)]),
+            ("modz", vec![Value::Num(5.0)]),
+            ("recurse", vec![Value::Num(0.0)]),
+            ("unbounded", vec![]),
+            ("badfor", vec![Value::Num(0.0)]),
+            ("noreturn", vec![Value::Num(1.0)]),
+            ("undefvar", vec![]),
+            ("assignless", vec![]),
+            ("unlinked", vec![Value::Num(1.0)]),
+            ("badbool", vec![Value::Num(1.0)]),
+            ("div", vec![Value::Num(1.0)]), // entry arity
+        ];
+        let ecvs = BTreeMap::new();
+        for (func, args) in cases {
+            differential(src, func, &args, &ecvs, 10_000_000);
+        }
+    }
+
+    /// Call-shape errors that static validation rejects in source form can
+    /// still exist in programmatically built (or linked) interfaces; both
+    /// engines must report them identically at runtime.
+    #[test]
+    fn invalid_call_shapes_match_the_oracle() {
+        use crate::ast::{Expr, FnDef, Stmt};
+        use crate::interface::Interface;
+
+        let mut iface = Interface::new("shapes");
+        iface
+            .add_fn(FnDef::new(
+                "two",
+                vec!["a".into(), "b".into()],
+                vec![Stmt::Return(Expr::var("a"))],
+            ))
+            .unwrap();
+        let call = |name: &str| {
+            vec![Stmt::Return(Expr::Call(
+                name.to_string(),
+                vec![Expr::Num(1.0)],
+            ))]
+        };
+        iface
+            .add_fn(FnDef::new("unknown", vec![], call("nonexistent")))
+            .unwrap();
+        iface
+            .add_fn(FnDef::new("badarity", vec![], call("two")))
+            .unwrap();
+        iface
+            .add_fn(FnDef::new("badbuiltin", vec![], call("min")))
+            .unwrap();
+
+        let ecvs = BTreeMap::new();
+        let cfg = tree_cfg();
+        let program = compile(&iface).expect("compiles");
+        let mut machine = Vm::new(&program);
+        for func in ["unknown", "badarity", "badbuiltin"] {
+            let oracle = interp::eval_with_assignment(&iface, func, &[], &ecvs, &cfg);
+            let got = machine.run(func, &[], &ecvs, &cfg);
+            assert!(oracle.is_err(), "{func}");
+            assert_eq!(oracle, got, "{func}");
+        }
+    }
+
+    #[test]
+    fn sampling_drivers_match_across_modes() {
+        let iface = parse(KITCHEN_SINK).unwrap();
+        let env = EcvEnv::from_decls(&iface.ecvs);
+        let cal = Calibration::from_pairs([("page", Energy::microjoules(25.0))]);
+        let args = [Value::Num(3.0)];
+        let run = |mode: ExecMode| {
+            let cfg = EvalConfig {
+                calibration: cal.clone(),
+                mode,
+                ..EvalConfig::default()
+            };
+            let mc = interp::monte_carlo(&iface, "sampled", &args, &env, 300, 7, &cfg).unwrap();
+            let par =
+                interp::monte_carlo_par(&iface, "sampled", &args, &env, 300, 7, 4, &cfg).unwrap();
+            assert_eq!(mc, par, "serial/parallel diverge under {mode:?}");
+            let batch =
+                interp::evaluate_batch(&iface, "unrolled", &[vec![], vec![]], &env, 3, &cfg)
+                    .unwrap();
+            // Exact enumeration needs a finite ECV space: enumerate over
+            // the Bernoulli ECV only (`unrolled` reads neither).
+            let mut finite = iface.ecvs.clone();
+            finite.remove("scale");
+            let finite_env = EcvEnv::from_decls(&finite);
+            let exact =
+                interp::enumerate_exact(&iface, "unrolled", &[], &finite_env, 64, &cfg).unwrap();
+            (mc, batch, exact)
+        };
+        let walk = run(ExecMode::TreeWalk);
+        let auto = run(ExecMode::Auto);
+        let compiled = run(ExecMode::Compiled);
+        assert_eq!(walk, auto, "Auto diverges from the oracle");
+        assert_eq!(walk, compiled, "Compiled diverges from the oracle");
+    }
+
+    #[test]
+    fn uncalibrated_unit_errors_match() {
+        let iface = parse(KITCHEN_SINK).unwrap();
+        let env = EcvEnv::from_decls(&iface.ecvs);
+        let run = |mode: ExecMode| {
+            let cfg = EvalConfig {
+                mode,
+                ..EvalConfig::default()
+            };
+            interp::monte_carlo(&iface, "unrolled", &[], &env, 8, 1, &cfg)
+        };
+        let walk = run(ExecMode::TreeWalk).unwrap_err();
+        let compiled = run(ExecMode::Compiled).unwrap_err();
+        assert_eq!(walk, compiled);
+        assert!(matches!(walk, Error::Uncalibrated { .. }), "{walk:?}");
+    }
+
+    #[test]
+    fn disassembly_is_deterministic_and_fingerprinted() {
+        let iface = parse(KITCHEN_SINK).unwrap();
+        let a = compile(&iface).unwrap();
+        let b = compile(&iface).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(disassemble(&a), disassemble(&b));
+        assert!(disassemble(&a).contains("fn fact/1"));
+    }
+}

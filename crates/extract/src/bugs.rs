@@ -54,7 +54,11 @@ impl BugReport {
 pub struct DetectorConfig {
     /// Relative tolerance, e.g. 0.15 flags when |measured/predicted−1| > 15 %.
     pub tolerance: f64,
-    /// Interpreter configuration (calibration etc.).
+    /// Evaluator configuration (calibration, fuel, engine). The default
+    /// [`ei_core::interp::ExecMode::Auto`] lets the detector's sampling
+    /// sweeps run compiled bytecode; set
+    /// [`ei_core::interp::ExecMode::TreeWalk`] to force the oracle when
+    /// triaging a suspected engine divergence.
     pub eval: EvalConfig,
     /// Monte-Carlo samples when the ECV space is not finitely enumerable.
     pub mc_samples: usize,

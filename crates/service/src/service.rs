@@ -246,7 +246,7 @@ pub fn request_stream(
 mod tests {
     use super::*;
     use ei_core::ecv::EcvEnv;
-    use ei_core::interp::{enumerate_exact, EvalConfig};
+    use ei_core::interp::{enumerate_exact, EvalConfig, ExecMode};
     use ei_core::value::Value;
     use ei_hw::gpu::rtx4090;
     use ei_hw::nic::datacenter_nic;
@@ -297,12 +297,28 @@ mod tests {
         let dist = enumerate_exact(
             &iface,
             "handle",
-            &[req],
+            std::slice::from_ref(&req),
             &EcvEnv::from_decls(&iface.ecvs),
             64,
             &cfg,
         )
         .unwrap();
+        // The Fig. 1 validation must not depend on the engine: the
+        // compiled bytecode VM has to reproduce the enumerated
+        // distribution exactly.
+        let compiled = enumerate_exact(
+            &iface,
+            "handle",
+            std::slice::from_ref(&req),
+            &EcvEnv::from_decls(&iface.ecvs),
+            64,
+            &EvalConfig {
+                mode: ExecMode::Compiled,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(dist, compiled, "engines diverge on the Fig. 1 interface");
         let predicted = dist.mean();
         let measured = svc.mean_request_energy();
         let rel = (predicted.as_joules() - measured.as_joules()).abs() / measured.as_joules();
