@@ -1,0 +1,33 @@
+//! E10: the cluster-scale load-balancing experiment.
+//!
+//! Runs 1M requests through a 100-node cluster (or the 10-node/10k smoke
+//! shape with `E10_SMOKE=1`) under the E10 fault plan, comparing the
+//! energy-interface balancer against the utilization baseline.
+//!
+//! Writes the report as JSON to `BENCH_cluster.json` (override the path
+//! with `BENCH_CLUSTER_OUT`; set it empty to skip) so CI can archive it,
+//! and exits non-zero if determinism or the policy win is violated.
+fn main() {
+    let cfg = if std::env::var("E10_SMOKE").as_deref() == Ok("1") {
+        ei_bench::cluster::E10Config::smoke()
+    } else {
+        ei_bench::cluster::E10Config::full()
+    };
+    let report = ei_bench::cluster::run_with(&cfg);
+    println!("{}", ei_bench::cluster::render(&report));
+
+    assert!(report.replay_identical, "E10 replay must be bit-identical");
+    assert!(report.mc.identical, "MC must be thread-count invariant");
+    assert!(
+        report.energy.j_per_request < report.baseline.j_per_request,
+        "energy policy must beat the utilization baseline on J/request"
+    );
+
+    let out =
+        std::env::var("BENCH_CLUSTER_OUT").unwrap_or_else(|_| "BENCH_cluster.json".to_string());
+    if !out.is_empty() {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&out, json).expect("write cluster report");
+        eprintln!("cluster report written to {out}");
+    }
+}

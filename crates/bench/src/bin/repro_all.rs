@@ -41,6 +41,14 @@ fn main() {
         "{}",
         ei_bench::experiments::render_faults(&ei_bench::experiments::run_faults())
     );
+    // E10 runs its smoke shape here; the full 1M-request run has its own
+    // binary (`cluster_sim`).
+    println!(
+        "{}",
+        ei_bench::cluster::render(&ei_bench::cluster::run_with(
+            &ei_bench::cluster::E10Config::smoke()
+        ))
+    );
     println!("{}", ei_bench::ablation::render(&ei_bench::ablation::run()));
     println!("{}", ei_bench::fig1::render(&ei_bench::fig1::run()));
     println!("{}", ei_bench::table1::render(&ei_bench::table1::run()));

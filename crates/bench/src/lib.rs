@@ -6,6 +6,7 @@
 //! measure the machinery itself.
 
 pub mod ablation;
+pub mod cluster;
 pub mod experiments;
 pub mod fig1;
 pub mod fig2;

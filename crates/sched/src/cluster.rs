@@ -195,12 +195,27 @@ pub fn place_with_faults(
     place_impl(cluster, apps, policy, &down)
 }
 
+/// Placement order audit: nothing here iterates a hash-ordered
+/// container — candidates are scanned in node-index order and
+/// equal-energy ties break to the lowest index, so placement is a pure
+/// function of `(cluster, apps, policy, down)`. The only order-sensitive
+/// input is `down`, which [`FaultPlan::nodes_down_at`] produces sorted
+/// and deduplicated; the `debug_assert` and `binary_search` below pin
+/// that contract so a future caller can't smuggle in a
+/// declaration-ordered list.
+///
+/// [`FaultPlan::nodes_down_at`]: ei_hw::faults::FaultPlan::nodes_down_at
 fn place_impl(
     cluster: &Cluster,
     apps: &[AppSpec],
     policy: Policy,
     down: &[usize],
 ) -> PlacementReport {
+    debug_assert!(
+        down.windows(2).all(|w| w[0] < w[1]),
+        "down list must be sorted and deduplicated"
+    );
+    let is_down = |i: usize| down.binary_search(&i).is_ok();
     let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Placement, policy.as_str());
     sp.add_items(apps.len() as u64);
     ei_telemetry::counter_add("sched.placed_apps", apps.len() as u64);
@@ -221,12 +236,12 @@ fn place_impl(
     for app in apps {
         let candidate = match policy {
             Policy::CpuRequestsOnly => {
-                (0..cluster.nodes.len()).find(|&i| !down.contains(&i) && free[i] >= app.cpu_request)
+                (0..cluster.nodes.len()).find(|&i| !is_down(i) && free[i] >= app.cpu_request)
             }
             Policy::EnergyInterface => {
                 let mut best: Option<(usize, Energy)> = None;
                 for i in 0..cluster.nodes.len() {
-                    if down.contains(&i) || free[i] < app.cpu_request {
+                    if is_down(i) || free[i] < app.cpu_request {
                         continue;
                     }
                     let e = cache
@@ -433,6 +448,74 @@ mod tests {
             TimeSpan::seconds(1.0),
         );
         assert_eq!(r.unplaced, pods.len());
+    }
+
+    #[test]
+    fn placement_is_independent_of_fault_window_order() {
+        use ei_core::units::TimeSpan;
+        use ei_hw::faults::{Fault, FaultPlan};
+
+        let cluster = Cluster::new(3, 2);
+        let pods = mixed_pods(6);
+        let w = |plan: FaultPlan, node| {
+            plan.window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(10.0),
+                Fault::NodeDown { node },
+            )
+        };
+        // Same dead set declared in three different window orders, one of
+        // them with a duplicate overlapping window for node 3.
+        let forward = w(w(FaultPlan::healthy(7), 0), 3);
+        let reversed = w(w(FaultPlan::healthy(7), 3), 0);
+        let duplicated = w(w(w(FaultPlan::healthy(7), 3), 0), 3);
+        for policy in [Policy::CpuRequestsOnly, Policy::EnergyInterface] {
+            let a = place_with_faults(&cluster, &pods, policy, &forward, TimeSpan::seconds(1.0));
+            let b = place_with_faults(&cluster, &pods, policy, &reversed, TimeSpan::seconds(1.0));
+            let c = place_with_faults(&cluster, &pods, policy, &duplicated, TimeSpan::seconds(1.0));
+            assert_eq!(
+                a.assignments, b.assignments,
+                "{policy:?}: window order leaked"
+            );
+            assert_eq!(
+                a.assignments, c.assignments,
+                "{policy:?}: duplicate window leaked"
+            );
+            assert_eq!(
+                (a.energy, a.unplaced),
+                (b.energy, b.unplaced),
+                "{policy:?}: totals diverge across window orders"
+            );
+            assert_eq!((a.energy, a.unplaced), (c.energy, c.unplaced));
+        }
+    }
+
+    #[test]
+    fn equal_energy_ties_break_to_the_lowest_index() {
+        // Two nodes with byte-identical energy constants but distinct
+        // names: every pod's interface evaluation ties exactly, so the
+        // deterministic contract (scan in index order, strict `<` keeps
+        // the earlier candidate) must fill node 0 before node 1.
+        let mut a = compute_node();
+        a.name = "tiea".into();
+        a.cpu_slots = 4.0;
+        let mut b = compute_node();
+        b.name = "tieb".into();
+        let cluster = Cluster {
+            nodes: vec![(a, 4.0), (b, 16.0)],
+        };
+        let pods: Vec<AppSpec> = mixed_pods(4)
+            .into_iter()
+            .filter(|p| p.name.starts_with("web"))
+            .collect();
+        let r = place(&cluster, &pods, Policy::EnergyInterface);
+        assert_eq!(r.unplaced, 0);
+        let placed: Vec<&str> = r.assignments.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(
+            placed,
+            ["tiea", "tiea", "tieb", "tieb"],
+            "ties must fill the lowest-index node first"
+        );
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! The deterministic event queue: a binary heap with stable `(time, seq)`
+//! ordering on an integer logical clock.
+//!
+//! Determinism contract (checked by `tests/cluster_properties.rs`):
+//!
+//! 1. **Total order.** Every event carries the nanosecond [`SimTime`] it
+//!    fires at plus a monotone sequence number assigned at push. Dequeue
+//!    order is the lexicographic `(time, seq)` order, so two events at
+//!    the same instant pop in push order — no dependence on heap
+//!    internals, hash seeds, or pointer identity.
+//! 2. **No time travel.** Pushing an event earlier than the last popped
+//!    time panics; dequeued times are therefore monotone non-decreasing
+//!    by construction.
+//! 3. **Conservation.** The queue counts pushes and pops so a driver can
+//!    assert nothing was lost or duplicated.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ei_core::units::TimeSpan;
+
+/// A point on the simulator's logical clock, in integer nanoseconds.
+///
+/// Integer time makes event ordering exact: two events scheduled from
+/// different code paths either collide to the same nanosecond (and then
+/// order by sequence number) or are strictly ordered — there is no
+/// floating-point "almost equal" regime where platform rounding could
+/// reorder the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of the logical clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Converts from seconds, rounding to the nearest nanosecond.
+    pub fn from_seconds(s: f64) -> SimTime {
+        SimTime((s * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Converts from milliseconds, rounding to the nearest nanosecond.
+    pub fn from_millis(ms: f64) -> SimTime {
+        SimTime::from_seconds(ms * 1e-3)
+    }
+
+    /// Converts from the workspace's wall-free [`TimeSpan`].
+    pub fn from_span(t: TimeSpan) -> SimTime {
+        SimTime::from_seconds(t.as_seconds())
+    }
+
+    /// The time as fractional seconds.
+    pub fn as_seconds(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// The time as a [`TimeSpan`] on the workspace clock.
+    pub fn as_span(self) -> TimeSpan {
+        TimeSpan::seconds(self.as_seconds())
+    }
+
+    /// Saturating addition of a nanosecond delta.
+    pub fn plus(self, delta_ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delta_ns))
+    }
+}
+
+/// One scheduled event. Ordered by `(time, seq)`; the payload never
+/// participates in ordering, so `E` needs no `Ord`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (time, seq) first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The deterministic discrete-event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at logical time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events ever popped.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `ev` at `at`. Panics if `at` lies before the last popped
+    /// time — a discrete-event simulation must never schedule into its
+    /// own past.
+    pub fn push(&mut self, at: SimTime, ev: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled into the past: {} < now {}",
+            at.0,
+            self.now.0
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.pushed += 1;
+        self.heap.push(Scheduled { at, seq, ev });
+    }
+
+    /// Pops the earliest event (stable `(time, seq)` order) and advances
+    /// the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "heap violated monotone dequeue");
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_push_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), "b");
+        q.push(SimTime(3), "a");
+        q.push(SimTime(5), "c");
+        q.push(SimTime(5), "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
+        assert_eq!(q.pushed(), 4);
+        assert_eq!(q.popped(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), ());
+        q.pop();
+        q.push(SimTime(9), ());
+    }
+
+    #[test]
+    fn simtime_round_trips_through_seconds() {
+        for ns in [0u64, 1, 999, 1_000_000_000, 123_456_789_012] {
+            let t = SimTime(ns);
+            assert_eq!(SimTime::from_seconds(t.as_seconds()).0, ns);
+        }
+        assert_eq!(SimTime::from_millis(2.5).0, 2_500_000);
+    }
+}

@@ -1,0 +1,818 @@
+//! The cluster simulator: arrivals, batch queues, autoscaling, faults —
+//! all interleaved on one deterministic event queue.
+//!
+//! Every run is a pure function of `(ClusterSpec, SimConfig, FaultPlan,
+//! policy)`: arrivals draw from SplitMix64 streams keyed by the config
+//! seed, the event queue orders everything by `(time, seq)`, and no wall
+//! time or thread identity enters anywhere. Two replays produce
+//! bit-identical [`RunStats`] — including every f64, which is why the
+//! accounting sums in a fixed sequential order.
+//!
+//! Request conservation is an invariant, not a hope: every arrival ends
+//! as exactly one of `completed`, `shed` (routable nodes existed but all
+//! were full), or `unserved` (no alive node ever came back for it), and
+//! `run_cluster_sim` asserts the books balance before returning.
+
+use std::collections::VecDeque;
+
+use ei_hw::faults::{Fault, FaultPlan};
+use serde::{Deserialize, Serialize};
+
+use super::node::{NodeClass, NodeState, SimRequest, N_REQ_CLASSES};
+use super::policy::{LbPolicy, NodeView};
+use super::queue::{EventQueue, SimTime};
+use super::rng::SplitMix64;
+
+/// The cluster's hardware shape: a class table plus one class index per
+/// node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// The node classes present in the cluster.
+    pub classes: Vec<NodeClass>,
+    /// `assignment[i]` is node `i`'s index into `classes`.
+    pub assignment: Vec<usize>,
+}
+
+impl ClusterSpec {
+    /// A cluster of `n_perf` + `n_eff` nodes with the two stock classes
+    /// interleaved (perf at even positions while both kinds last), so
+    /// index-order activation — what the baseline does — powers on a mix.
+    pub fn mixed(n_perf: usize, n_eff: usize) -> ClusterSpec {
+        let classes = vec![NodeClass::perf(), NodeClass::eff()];
+        let mut assignment = Vec::with_capacity(n_perf + n_eff);
+        let (mut p, mut e) = (n_perf, n_eff);
+        while p > 0 || e > 0 {
+            if p > 0 {
+                assignment.push(0);
+                p -= 1;
+            }
+            if e > 0 {
+                assignment.push(1);
+                e -= 1;
+            }
+        }
+        ClusterSpec {
+            classes,
+            assignment,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+/// One stretch of the arrival schedule.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase length in seconds; `0.0` means "until the run ends" (only
+    /// meaningful for the last phase).
+    pub duration_s: f64,
+    /// Poisson arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Fraction of large requests.
+    pub p_large: f64,
+}
+
+/// Simulation knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Seed for every stochastic stream (arrivals, classes).
+    pub seed: u64,
+    /// Total requests to generate.
+    pub n_requests: u64,
+    /// The arrival schedule; the last phase extends to the end of the run.
+    pub phases: Vec<Phase>,
+    /// Autoscaler period, milliseconds.
+    pub autoscale_tick_ms: f64,
+    /// Latency SLO the energy policy routes against, milliseconds.
+    pub slo_ms: f64,
+    /// Nodes powered on at t = 0 (clamped to `[1, n_nodes]`).
+    pub initial_active: usize,
+    /// Per-node queue bound; a request finding every routable node at
+    /// this depth is shed.
+    pub max_queue: usize,
+    /// Fault/autoscale horizon in seconds; events of the fault plan at or
+    /// beyond this instant are not scheduled, so a node whose recovery
+    /// lies past the horizon stays down for good. `0.0` disables.
+    pub horizon_s: f64,
+    /// Record the ids of completed requests (tests; costs memory).
+    pub track_ids: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x0E10,
+            n_requests: 10_000,
+            phases: vec![Phase {
+                duration_s: 0.0,
+                rate_rps: 2_000.0,
+                p_large: 0.25,
+            }],
+            autoscale_tick_ms: 500.0,
+            slo_ms: 250.0,
+            initial_active: 4,
+            max_queue: 64,
+            horizon_s: 0.0,
+            track_ids: false,
+        }
+    }
+}
+
+/// Everything one policy run produced, in report form. Field order is the
+/// serialization order of the golden reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Policy name.
+    pub policy: String,
+    /// Requests generated.
+    pub arrivals: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests dropped because every routable node was full.
+    pub shed: u64,
+    /// Requests stranded with no alive node to the end of the run.
+    pub unserved: u64,
+    /// Re-dispatches after node deaths (a request can count many times).
+    pub redispatched: u64,
+    /// Batches served.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Completions per node class (index into the spec's class table).
+    pub completed_by_class: Vec<u64>,
+    /// Large-class fraction among arrivals.
+    pub frac_large: f64,
+    /// Logical end of the run, seconds.
+    pub makespan_s: f64,
+    /// Completed requests per logical second.
+    pub throughput_rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency.
+    pub p999_ms: f64,
+    /// Worst latency.
+    pub max_ms: f64,
+    /// Dynamic (batch) energy, Joules.
+    pub dyn_energy_j: f64,
+    /// Static powered-on energy, Joules.
+    pub idle_energy_j: f64,
+    /// Total energy.
+    pub total_energy_j: f64,
+    /// The headline: total Joules per completed request.
+    pub j_per_request: f64,
+    /// Completions per node (index order) — the per-node counters, also
+    /// exported through telemetry.
+    pub node_completed: Vec<u64>,
+}
+
+/// A run's stats plus optional per-request bookkeeping for tests.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The report.
+    pub stats: RunStats,
+    /// Ids of completed requests, when `SimConfig::track_ids` was set.
+    pub served_ids: Option<Vec<u64>>,
+    /// Sorted completed-request latencies in nanoseconds.
+    pub latencies_ns: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrive,
+    Depart { node: usize, epoch: u64 },
+    NodeDown(usize),
+    NodeUp(usize),
+    Autoscale,
+}
+
+/// The in-progress simulation.
+struct Sim<'a> {
+    spec: &'a ClusterSpec,
+    cfg: &'a SimConfig,
+    plan: &'a FaultPlan,
+    nodes: Vec<NodeState>,
+    /// Nested `NodeDown` windows per node.
+    down_depth: Vec<u32>,
+    /// Estimated queued service nanoseconds per node (wait predictor).
+    queued_ns: Vec<u64>,
+    q: EventQueue<Ev>,
+    arrival_rng: SplitMix64,
+    class_rng: SplitMix64,
+    emitted: u64,
+    large_arrivals: u64,
+    arrivals_at_last_tick: u64,
+    orphans: VecDeque<SimRequest>,
+    shed: u64,
+    redispatched: u64,
+    latencies_ns: Vec<u64>,
+    served_ids: Vec<u64>,
+    /// Phase schedule as `(start_ns, rate, p_large)`, ascending.
+    phase_starts: Vec<(u64, f64, f64)>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(spec: &'a ClusterSpec, cfg: &'a SimConfig, plan: &'a FaultPlan) -> Sim<'a> {
+        let n = spec.n_nodes();
+        let mut phase_starts = Vec::new();
+        let mut at = 0u64;
+        for ph in &cfg.phases {
+            phase_starts.push((at, ph.rate_rps, ph.p_large));
+            at = at.saturating_add(SimTime::from_seconds(ph.duration_s.max(0.0)).0);
+        }
+        if phase_starts.is_empty() {
+            phase_starts.push((0, 1_000.0, 0.25));
+        }
+        Sim {
+            spec,
+            cfg,
+            plan,
+            nodes: spec.assignment.iter().map(|&c| NodeState::new(c)).collect(),
+            down_depth: vec![0; n],
+            queued_ns: vec![0; n],
+            q: EventQueue::new(),
+            arrival_rng: SplitMix64::stream(cfg.seed, 0x41),
+            class_rng: SplitMix64::stream(cfg.seed, 0x42),
+            emitted: 0,
+            large_arrivals: 0,
+            arrivals_at_last_tick: 0,
+            orphans: VecDeque::new(),
+            shed: 0,
+            redispatched: 0,
+            latencies_ns: Vec::new(),
+            served_ids: Vec::new(),
+            phase_starts,
+        }
+    }
+
+    fn class_of(&self, node: usize) -> &NodeClass {
+        &self.spec.classes[self.spec.assignment[node]]
+    }
+
+    /// `(rate, p_large)` of the phase covering `now`.
+    fn phase_at(&self, now: SimTime) -> (f64, f64) {
+        let mut cur = (self.phase_starts[0].1, self.phase_starts[0].2);
+        for &(start, rate, p_large) in &self.phase_starts {
+            if start <= now.0 {
+                cur = (rate, p_large);
+            } else {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Predicted completion delay for a request of `class` routed to
+    /// `node` now: remaining busy time, queued service, the fixed costs
+    /// of the batches the queue will need, and the request's own service.
+    /// Uses healthy timing — policies don't get to see fault state.
+    fn wait_ns(&self, node: usize, class: usize, now: SimTime) -> u64 {
+        let st = &self.nodes[node];
+        let nc = self.class_of(node);
+        let busy_rem = if st.busy() {
+            st.busy_until.0.saturating_sub(now.0)
+        } else {
+            0
+        };
+        let batches_ahead = (st.queue.len() as u64 + 1).div_ceil(nc.max_batch as u64);
+        busy_rem
+            + self.queued_ns[node]
+            + batches_ahead * nc.t_fixed_ns
+            + nc.t_req_ns[class.min(N_REQ_CLASSES - 1)]
+    }
+
+    /// Starts a batch on `node` if it is idle with queued work. A node
+    /// that was deactivated keeps draining its queue; only death stops
+    /// service.
+    fn maybe_start(&mut self, node: usize, now: SimTime) {
+        let st = &self.nodes[node];
+        if st.busy() || !st.alive || st.queue.is_empty() {
+            return;
+        }
+        let nc = self.class_of(node).clone();
+        let take = nc.max_batch.min(self.nodes[node].queue.len());
+        let mut counts = [0u64; N_REQ_CLASSES];
+        let mut batch = Vec::with_capacity(take);
+        for _ in 0..take {
+            let req = self.nodes[node].queue.pop_front().expect("queued");
+            self.queued_ns[node] =
+                self.queued_ns[node].saturating_sub(nc.t_req_ns[req.class.min(N_REQ_CLASSES - 1)]);
+            counts[req.class.min(N_REQ_CLASSES - 1)] += 1;
+            batch.push(req);
+        }
+        let fault = self.plan.state_at(now.as_span());
+        let nic_ns = (fault.nic_latency.as_seconds() * 1e9).round().max(0.0) as u64;
+        let svc = nc.service_ns(&counts, fault.gpu_derate, nic_ns);
+        let st = &mut self.nodes[node];
+        st.dyn_energy += nc.batch_energy(&counts);
+        st.batches += 1;
+        st.in_flight = batch;
+        st.busy_until = now.plus(svc);
+        let epoch = st.epoch;
+        self.q.push(st.busy_until, Ev::Depart { node, epoch });
+    }
+
+    /// Routes one request through the policy. Exactly one of: enqueued on
+    /// a node, counted shed, or parked as an orphan.
+    fn route(&mut self, req: SimRequest, now: SimTime, policy: &mut dyn LbPolicy) {
+        let any_routable = self.nodes.iter().any(|n| n.active && n.alive);
+        if !any_routable {
+            self.orphans.push_back(req);
+            return;
+        }
+        let views: Vec<NodeView> = (0..self.nodes.len())
+            .filter(|&i| {
+                let n = &self.nodes[i];
+                n.active && n.alive && n.queue.len() < self.cfg.max_queue
+            })
+            .map(|i| NodeView {
+                node: i,
+                class_idx: self.spec.assignment[i],
+                queue_len: self.nodes[i].queue.len(),
+                wait_ns: self.wait_ns(i, req.class, now),
+            })
+            .collect();
+        match policy.route(req.class, &views) {
+            Some(node) => {
+                let nc_t = self.class_of(node).t_req_ns[req.class.min(N_REQ_CLASSES - 1)];
+                self.queued_ns[node] = self.queued_ns[node].saturating_add(nc_t);
+                self.nodes[node].queue.push_back(req);
+                self.maybe_start(node, now);
+            }
+            None => {
+                // Routable nodes exist but every one is at its queue
+                // bound: admission control sheds.
+                self.shed += 1;
+            }
+        }
+    }
+
+    /// Applies a target active count along the policy's activation order.
+    fn apply_active_set(&mut self, order: &[usize], target: usize, now: SimTime) {
+        let target = target.clamp(1, self.nodes.len());
+        for (pos, &i) in order.iter().enumerate() {
+            let want = pos < target;
+            let st = &mut self.nodes[i];
+            if want && !st.active {
+                st.active = true;
+                if st.alive {
+                    st.power_on(now);
+                }
+            } else if !want && st.active {
+                st.active = false;
+                // Busy or backlogged nodes drain first; `Depart` powers
+                // them off once empty.
+                if st.alive && !st.busy() && st.queue.is_empty() {
+                    st.power_off(now);
+                }
+            }
+        }
+    }
+
+    fn flush_orphans(&mut self, now: SimTime, policy: &mut dyn LbPolicy) {
+        if self.orphans.is_empty() {
+            return;
+        }
+        let any_routable = self.nodes.iter().any(|n| n.active && n.alive);
+        if !any_routable {
+            return;
+        }
+        let mut parked = std::mem::take(&mut self.orphans);
+        while let Some(req) = parked.pop_front() {
+            self.route(req, now, policy);
+        }
+    }
+}
+
+/// Runs one policy over the cluster and fault plan. Deterministic:
+/// bit-identical [`RunStats`] for identical inputs, independent of host,
+/// thread count, or repetition.
+pub fn run_cluster_sim(
+    spec: &ClusterSpec,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    policy: &mut dyn LbPolicy,
+) -> RunOutcome {
+    let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Schedule, policy.name());
+    let mut sim = Sim::new(spec, cfg, plan);
+    let n = spec.n_nodes();
+
+    // Power on the initial active set.
+    let order = policy.activation_order().to_vec();
+    sim.apply_active_set(&order, cfg.initial_active.clamp(1, n), SimTime::ZERO);
+
+    // Seed the event streams: first arrival, first autoscale tick, and
+    // every node-death window of the fault plan.
+    let tick_ns = SimTime::from_millis(cfg.autoscale_tick_ms.max(1.0)).0;
+    let horizon = (cfg.horizon_s > 0.0).then(|| SimTime::from_seconds(cfg.horizon_s));
+    let within_horizon = |t: SimTime| horizon.is_none_or(|h| t < h);
+    {
+        let (rate0, _) = sim.phase_at(SimTime::ZERO);
+        let first = sim.arrival_rng.next_exp_ns(rate0);
+        sim.q.push(SimTime(first), Ev::Arrive);
+        sim.q.push(SimTime(tick_ns), Ev::Autoscale);
+        for w in &plan.windows {
+            if let Fault::NodeDown { node } = w.fault {
+                if node < n && within_horizon(SimTime::from_span(w.from)) {
+                    sim.q.push(SimTime::from_span(w.from), Ev::NodeDown(node));
+                    // A recovery past the horizon never happens: the node
+                    // stays down and its stranded work ends up unserved.
+                    if within_horizon(SimTime::from_span(w.until)) {
+                        sim.q.push(SimTime::from_span(w.until), Ev::NodeUp(node));
+                    }
+                }
+            }
+        }
+    }
+
+    while let Some((now, ev)) = sim.q.pop() {
+        match ev {
+            Ev::Arrive => {
+                if sim.emitted >= cfg.n_requests {
+                    continue;
+                }
+                let (rate, p_large) = sim.phase_at(now);
+                let class = usize::from(sim.class_rng.next_bool(p_large));
+                let req = SimRequest {
+                    id: sim.emitted,
+                    class,
+                    arrival: now,
+                    retries: 0,
+                };
+                sim.emitted += 1;
+                sim.large_arrivals += class as u64;
+                sim.route(req, now, policy);
+                if sim.emitted < cfg.n_requests {
+                    let gap = sim.arrival_rng.next_exp_ns(rate);
+                    sim.q.push(now.plus(gap), Ev::Arrive);
+                }
+            }
+            Ev::Depart { node, epoch } => {
+                let stale = sim.nodes[node].epoch != epoch || sim.nodes[node].in_flight.is_empty();
+                if stale {
+                    continue;
+                }
+                let batch = std::mem::take(&mut sim.nodes[node].in_flight);
+                for req in batch {
+                    sim.latencies_ns.push(now.0.saturating_sub(req.arrival.0));
+                    sim.nodes[node].completed += 1;
+                    if cfg.track_ids {
+                        sim.served_ids.push(req.id);
+                    }
+                }
+                let st = &mut sim.nodes[node];
+                if st.queue.is_empty() && !st.active {
+                    st.power_off(now);
+                } else {
+                    sim.maybe_start(node, now);
+                }
+            }
+            Ev::NodeDown(node) => {
+                sim.down_depth[node] += 1;
+                if sim.down_depth[node] > 1 {
+                    continue;
+                }
+                let st = &mut sim.nodes[node];
+                st.alive = false;
+                st.epoch += 1; // cancels any scheduled departure
+                st.power_off(now);
+                let mut displaced: Vec<SimRequest> = st.in_flight.drain(..).collect();
+                displaced.extend(st.queue.drain(..));
+                sim.queued_ns[node] = 0;
+                // The herd: every displaced request re-enters routing at
+                // the same instant, in its original order.
+                for mut req in displaced {
+                    req.retries += 1;
+                    sim.redispatched += 1;
+                    sim.route(req, now, policy);
+                }
+            }
+            Ev::NodeUp(node) => {
+                sim.down_depth[node] = sim.down_depth[node].saturating_sub(1);
+                if sim.down_depth[node] > 0 {
+                    continue;
+                }
+                let st = &mut sim.nodes[node];
+                st.alive = true;
+                if st.active {
+                    st.power_on(now);
+                }
+                sim.flush_orphans(now, policy);
+                sim.maybe_start(node, now);
+            }
+            Ev::Autoscale => {
+                let since = sim.emitted - sim.arrivals_at_last_tick;
+                sim.arrivals_at_last_tick = sim.emitted;
+                let rate_est = since as f64 / (tick_ns as f64 * 1e-9);
+                let p_large_est = if sim.emitted == 0 {
+                    0.0
+                } else {
+                    sim.large_arrivals as f64 / sim.emitted as f64
+                };
+                let target = policy.target_active(rate_est, p_large_est, n);
+                sim.apply_active_set(&order, target, now);
+                sim.flush_orphans(now, policy);
+                // Keep ticking while the run is live. Orphans alone keep
+                // the clock running only if some other event (a pending
+                // recovery) could still rescue them — otherwise the tick
+                // loop would spin forever on a dead cluster.
+                let node_work: usize = sim.nodes.iter().map(|nd| nd.outstanding()).sum();
+                let live = sim.emitted < cfg.n_requests
+                    || node_work > 0
+                    || (!sim.orphans.is_empty() && !sim.q.is_empty());
+                let next = now.plus(tick_ns);
+                if live && within_horizon(next) {
+                    sim.q.push(next, Ev::Autoscale);
+                }
+            }
+        }
+    }
+
+    // Close the books.
+    let end = sim.q.now();
+    for st in &mut sim.nodes {
+        st.power_off(end);
+        st.active = false;
+    }
+    let completed: u64 = sim.nodes.iter().map(|n| n.completed).sum();
+    let unserved = sim.orphans.len() as u64;
+    assert_eq!(
+        sim.emitted,
+        completed + sim.shed + unserved,
+        "request conservation violated"
+    );
+    assert_eq!(sim.latencies_ns.len() as u64, completed);
+
+    let mut latencies = sim.latencies_ns;
+    latencies.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * latencies.len() as f64).ceil() as usize).max(1) - 1;
+        latencies[idx.min(latencies.len() - 1)] as f64 * 1e-6
+    };
+
+    let dyn_energy_j: f64 = sim.nodes.iter().map(|n| n.dyn_energy.as_joules()).sum();
+    let idle_energy_j: f64 = sim
+        .nodes
+        .iter()
+        .map(|n| {
+            let class = &spec.classes[n.class_idx];
+            class.p_active_w * n.active_ns as f64 * 1e-9
+        })
+        .sum();
+    let total_energy_j = dyn_energy_j + idle_energy_j;
+    let makespan_s = end.as_seconds();
+    let batches: u64 = sim.nodes.iter().map(|n| n.batches).sum();
+    let mut completed_by_class = vec![0u64; spec.classes.len()];
+    for st in &sim.nodes {
+        completed_by_class[st.class_idx] += st.completed;
+    }
+    let node_completed: Vec<u64> = sim.nodes.iter().map(|n| n.completed).collect();
+
+    // Telemetry: run-level counters (cumulative across policies) plus the
+    // policy span carrying item count and total energy. Deterministic
+    // inputs make the resulting trace byte-stable across replays.
+    ei_telemetry::counter_add("des.arrivals", sim.emitted);
+    ei_telemetry::counter_add("des.completed", completed);
+    ei_telemetry::counter_add("des.shed", sim.shed);
+    ei_telemetry::counter_add("des.redispatched", sim.redispatched);
+    ei_telemetry::counter_add("des.batches", batches);
+    sp.add_items(sim.emitted);
+    sp.record_energy(total_energy_j);
+
+    let stats = RunStats {
+        policy: policy.name().to_string(),
+        arrivals: sim.emitted,
+        completed,
+        shed: sim.shed,
+        unserved,
+        redispatched: sim.redispatched,
+        batches,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            completed as f64 / batches as f64
+        },
+        completed_by_class,
+        frac_large: if sim.emitted == 0 {
+            0.0
+        } else {
+            sim.large_arrivals as f64 / sim.emitted as f64
+        },
+        makespan_s,
+        throughput_rps: if makespan_s <= 0.0 {
+            0.0
+        } else {
+            completed as f64 / makespan_s
+        },
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+        max_ms: latencies.last().map_or(0.0, |&l| l as f64 * 1e-6),
+        dyn_energy_j,
+        idle_energy_j,
+        total_energy_j,
+        j_per_request: if completed == 0 {
+            0.0
+        } else {
+            total_energy_j / completed as f64
+        },
+        node_completed,
+    };
+    RunOutcome {
+        stats,
+        served_ids: cfg.track_ids.then_some(sim.served_ids),
+        latencies_ns: latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::policy::{EnergyLb, UtilizationLb};
+    use ei_core::cache::EvalCache;
+    use ei_core::units::TimeSpan;
+
+    fn small_spec() -> ClusterSpec {
+        ClusterSpec::mixed(3, 3)
+    }
+
+    fn cfg(n: u64, seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            n_requests: n,
+            track_ids: true,
+            ..SimConfig::default()
+        }
+    }
+
+    fn run_util(spec: &ClusterSpec, cfg: &SimConfig, plan: &FaultPlan) -> RunOutcome {
+        let mut p = UtilizationLb::new(spec.classes.clone(), spec.assignment.clone(), 2);
+        run_cluster_sim(spec, cfg, plan, &mut p)
+    }
+
+    #[test]
+    fn healthy_run_serves_everything() {
+        let spec = small_spec();
+        // Comfortable load with the whole cluster on: nothing is shed.
+        let mut config = cfg(2_000, 7);
+        config.initial_active = 6;
+        config.phases = vec![Phase {
+            duration_s: 0.0,
+            rate_rps: 1_200.0,
+            p_large: 0.25,
+        }];
+        let out = run_util(&spec, &config, &FaultPlan::healthy(7));
+        assert_eq!(out.stats.arrivals, 2_000);
+        assert_eq!(out.stats.completed, 2_000);
+        assert_eq!(out.stats.shed, 0);
+        assert_eq!(out.stats.unserved, 0);
+        assert!(out.stats.j_per_request > 0.0);
+        assert!(out.stats.p50_ms > 0.0 && out.stats.p50_ms <= out.stats.p99_ms);
+        let ids = out.served_ids.unwrap();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 2_000, "every id served exactly once");
+    }
+
+    #[test]
+    fn replays_are_bit_identical() {
+        let spec = small_spec();
+        let plan = FaultPlan::healthy(3).window(
+            TimeSpan::seconds(0.2),
+            TimeSpan::seconds(0.6),
+            Fault::NodeDown { node: 1 },
+        );
+        let a = run_util(&spec, &cfg(3_000, 11), &plan);
+        let b = run_util(&spec, &cfg(3_000, 11), &plan);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            a.stats.j_per_request.to_bits(),
+            b.stats.j_per_request.to_bits()
+        );
+        assert_eq!(a.latencies_ns, b.latencies_ns);
+    }
+
+    #[test]
+    fn node_death_redispatches_without_loss() {
+        let spec = small_spec();
+        let plan = FaultPlan::healthy(5)
+            .window(
+                TimeSpan::seconds(0.1),
+                TimeSpan::seconds(0.8),
+                Fault::NodeDown { node: 0 },
+            )
+            .window(
+                TimeSpan::seconds(0.1),
+                TimeSpan::seconds(0.8),
+                Fault::NodeDown { node: 2 },
+            );
+        let out = run_util(&spec, &cfg(3_000, 13), &plan);
+        assert!(out.stats.redispatched > 0, "deaths must displace work");
+        assert_eq!(
+            out.stats.arrivals,
+            out.stats.completed + out.stats.shed + out.stats.unserved
+        );
+        let ids = out.served_ids.unwrap();
+        let mut sorted = ids;
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), before, "no request served twice");
+    }
+
+    #[test]
+    fn all_nodes_dead_strands_requests() {
+        let spec = ClusterSpec::mixed(1, 1);
+        let mut config = cfg(200, 17);
+        // Short, dense burst entirely inside the blackout; recoveries lie
+        // beyond the horizon, so the cluster never comes back.
+        config.phases = vec![Phase {
+            duration_s: 0.0,
+            rate_rps: 10_000.0,
+            p_large: 0.0,
+        }];
+        config.horizon_s = 5.0;
+        let plan = FaultPlan::healthy(17)
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(1e6),
+                Fault::NodeDown { node: 0 },
+            )
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(1e6),
+                Fault::NodeDown { node: 1 },
+            );
+        let out = run_util(&spec, &config, &plan);
+        assert_eq!(out.stats.completed, 0);
+        assert_eq!(out.stats.unserved, 200);
+    }
+
+    #[test]
+    fn energy_policy_beats_utilization_on_joules_per_request() {
+        let spec = ClusterSpec::mixed(5, 5);
+        let config = SimConfig {
+            seed: 23,
+            n_requests: 20_000,
+            phases: vec![Phase {
+                duration_s: 0.0,
+                rate_rps: 1_500.0,
+                p_large: 0.25,
+            }],
+            initial_active: 6,
+            ..SimConfig::default()
+        };
+        let plan = FaultPlan::healthy(23);
+        let base = run_util(&spec, &config, &plan);
+        let cache = EvalCache::new();
+        let mut ep = EnergyLb::new(
+            spec.classes.clone(),
+            spec.assignment.clone(),
+            2,
+            SimTime::from_millis(config.slo_ms).0,
+            &cache,
+        );
+        let smart = run_cluster_sim(&spec, &config, &plan, &mut ep);
+        assert_eq!(base.stats.completed, 20_000);
+        assert_eq!(smart.stats.completed, 20_000);
+        assert!(
+            smart.stats.j_per_request < base.stats.j_per_request,
+            "energy policy {} must beat utilization {}",
+            smart.stats.j_per_request,
+            base.stats.j_per_request
+        );
+    }
+
+    #[test]
+    fn brownout_window_stretches_service() {
+        let spec = small_spec();
+        let config = cfg(2_000, 31);
+        let healthy = run_util(&spec, &config, &FaultPlan::healthy(31));
+        let browned = run_util(
+            &spec,
+            &config,
+            &FaultPlan::healthy(31).window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(1e6),
+                Fault::GpuBrownout {
+                    derate: 0.5,
+                    sm_loss: 0.2,
+                },
+            ),
+        );
+        assert!(
+            browned.stats.p99_ms > healthy.stats.p99_ms,
+            "derated cluster must be slower ({} vs {})",
+            browned.stats.p99_ms,
+            healthy.stats.p99_ms
+        );
+    }
+}

@@ -14,13 +14,21 @@
 //!   simulator.
 //! - [`provision`]: the §3 power-interface extension — peak-power-aware
 //!   rack provisioning under a power cap.
+//! - [`des`]: a deterministic discrete-event cluster simulator (E10) —
+//!   an energy-interface-driven load balancer and autoscaler against a
+//!   utilization baseline, under fault windows, at 1M-request scale.
 
 pub mod cluster;
+pub mod des;
 pub mod eas;
 pub mod fuzz;
 pub mod provision;
 
 pub use cluster::{place, Cluster, Policy};
+pub use des::{
+    run_cluster_sim, ClusterSpec, EnergyLb, EventQueue, LbPolicy, NodeClass, Phase, RunOutcome,
+    RunStats, SimConfig, SimTime, UtilizationLb,
+};
 pub use eas::{marginal_energy, run_schedule, Predictor, SchedConfig, TaskSpec};
 pub use fuzz::{plan, simulate_campaign, FuzzCampaign};
 pub use provision::{timeline_peak, ProvisionPolicy, Workload};

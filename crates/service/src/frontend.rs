@@ -265,7 +265,22 @@ impl ServiceFrontend {
     /// one. Returns the request's true energy, or `None` if admission
     /// control shed it.
     pub fn handle(&mut self, req: Request, inter_arrival: TimeSpan) -> Option<Energy> {
-        self.now += inter_arrival;
+        self.handle_at(req, self.now + inter_arrival)
+    }
+
+    /// Handles one request arriving at absolute logical time `at` — the
+    /// event-driven entry point a discrete-event scheduler dispatches
+    /// through. `handle(req, gap)` is exactly `handle_at(req, now + gap)`,
+    /// so step-driven and event-driven runs of one workload agree
+    /// byte-for-byte. `at` must not precede the current logical time.
+    pub fn handle_at(&mut self, req: Request, at: TimeSpan) -> Option<Energy> {
+        assert!(
+            at.as_seconds() >= self.now.as_seconds(),
+            "request dispatched into the past: {} < {}",
+            at.as_seconds(),
+            self.now.as_seconds()
+        );
+        self.now = at;
         let fault = self.plan.state_at(self.now);
 
         // Least-loaded replica, lowest index on ties.

@@ -1,0 +1,163 @@
+//! Differential test: the PR 3 step-driven `ei_service::frontend` and a
+//! DES-driven dispatch of the same workload agree byte-for-byte.
+//!
+//! `ServiceFrontend::handle(req, gap)` advances an internal clock and
+//! serves; `ServiceFrontend::handle_at(req, at)` is the event-driven
+//! entry point. Scheduling the identical arrival instants through
+//! `ei_sched::des::EventQueue` and dispatching each pop into `handle_at`
+//! must reproduce the step-driven run exactly — every counter, every
+//! per-request energy bit, every final path. The arrival instants are
+//! computed by the same cumulative float addition `handle` performs, so
+//! there is no rounding daylight between the two drivers.
+
+use ei_core::units::TimeSpan;
+use ei_hw::faults::FaultPlan;
+use ei_hw::gpu::rtx4090;
+use ei_hw::nic::datacenter_nic;
+use ei_sched::des::{EventQueue, SimTime};
+use ei_service::{request_stream, FrontendConfig, Request, ServiceFrontend};
+
+fn single_replica_frontend(seed: u64) -> ServiceFrontend {
+    single_replica_with_backlog(seed, FrontendConfig::default().max_backlog)
+}
+
+fn single_replica_with_backlog(seed: u64, max_backlog: TimeSpan) -> ServiceFrontend {
+    let config = FrontendConfig {
+        replicas: 1,
+        max_backlog,
+        ..FrontendConfig::default()
+    };
+    ServiceFrontend::new(
+        rtx4090(),
+        datacenter_nic(),
+        256,
+        4096,
+        FaultPlan::healthy(seed),
+        config,
+    )
+    .expect("model fits")
+}
+
+/// Runs the same stream step-driven and event-driven; both frontends must
+/// end in bit-identical states.
+fn assert_drivers_agree(stream: &[Request], gap: TimeSpan) {
+    // Step-driven reference.
+    let mut step = single_replica_frontend(7);
+    let completed = step.run(stream, gap);
+
+    // Event-driven: schedule every arrival on the DES queue, carrying the
+    // exact TimeSpan produced by the same `now + gap` accumulation, then
+    // dispatch pops into `handle_at`.
+    let mut des = single_replica_frontend(7);
+    let mut q: EventQueue<(Request, TimeSpan)> = EventQueue::new();
+    let mut t = TimeSpan::ZERO;
+    for req in stream {
+        t += gap;
+        q.push(SimTime::from_span(t), (*req, t));
+    }
+    let mut des_completed = 0;
+    while let Some((_, (req, at))) = q.pop() {
+        if des.handle_at(req, at).is_some() {
+            des_completed += 1;
+        }
+    }
+
+    assert_eq!(completed, des_completed, "completion counts diverge");
+    assert_eq!(step.stats(), des.stats(), "frontend counters diverge");
+    assert_eq!(
+        step.log().len(),
+        des.log().len(),
+        "per-request logs diverge in length"
+    );
+    for (i, ((p_a, e_a), (p_b, e_b))) in step.log().iter().zip(des.log()).enumerate() {
+        assert_eq!(p_a, p_b, "request {i}: final paths diverge");
+        assert_eq!(
+            e_a.as_joules().to_bits(),
+            e_b.as_joules().to_bits(),
+            "request {i}: energies diverge ({} vs {})",
+            e_a.as_joules(),
+            e_b.as_joules()
+        );
+    }
+    assert_eq!(
+        step.mean_request_energy().as_joules().to_bits(),
+        des.mean_request_energy().as_joules().to_bits(),
+        "mean request energy diverges"
+    );
+}
+
+#[test]
+fn event_driven_dispatch_matches_step_driven_run() {
+    let stream = request_stream(1_000, 150, 0.6, 16384, 0.25, 42);
+    assert_drivers_agree(&stream, TimeSpan::millis(5.0));
+}
+
+#[test]
+fn sparse_arrivals_agree() {
+    // Gaps long enough that every replica drains between requests.
+    let stream = request_stream(300, 50, 0.5, 8192, 0.0, 9);
+    assert_drivers_agree(&stream, TimeSpan::millis(50.0));
+}
+
+#[test]
+fn coincident_arrivals_agree_via_push_order() {
+    // Zero inter-arrival: every event lands on the same logical instant,
+    // so the event queue's (time, seq) tie-break alone must reproduce the
+    // stream order the step-driven run processes.
+    let stream = request_stream(200, 40, 0.6, 8192, 0.0, 11);
+    assert_drivers_agree(&stream, TimeSpan::ZERO);
+}
+
+#[test]
+fn mixed_cadence_still_agrees() {
+    // A cadence that stresses backlog-based shedding: bursts (zero gap
+    // inside a burst) separated by drains. Step-driven: alternate gaps;
+    // event-driven replicates the same accumulation.
+    // All-miss large-image requests against a tight backlog bound so the
+    // zero-gap bursts shed and the drains between them recover.
+    let backlog = TimeSpan::micros(50.0);
+    let stream = request_stream(400, 60, 0.0, 65536, 0.25, 13);
+    let mut step = single_replica_with_backlog(3, backlog);
+    let mut des = single_replica_with_backlog(3, backlog);
+    let mut q: EventQueue<(Request, TimeSpan)> = EventQueue::new();
+
+    let gap_for = |i: usize| {
+        if i % 16 < 14 {
+            TimeSpan::ZERO
+        } else {
+            TimeSpan::millis(50.0)
+        }
+    };
+    let mut completed_step = 0;
+    for (i, req) in stream.iter().enumerate() {
+        if step.handle(*req, gap_for(i)).is_some() {
+            completed_step += 1;
+        }
+    }
+    let mut t = TimeSpan::ZERO;
+    for (i, req) in stream.iter().enumerate() {
+        t += gap_for(i);
+        q.push(SimTime::from_span(t), (*req, t));
+    }
+    let mut completed_des = 0;
+    while let Some((_, (req, at))) = q.pop() {
+        if des.handle_at(req, at).is_some() {
+            completed_des += 1;
+        }
+    }
+    assert_eq!(completed_step, completed_des);
+    assert_eq!(step.stats(), des.stats());
+    assert!(
+        step.stats().shed > 0,
+        "the bursty cadence must exercise shedding"
+    );
+}
+
+#[test]
+#[should_panic(expected = "dispatched into the past")]
+fn dispatching_into_the_past_panics() {
+    let mut fe = single_replica_frontend(1);
+    let stream = request_stream(2, 0, 0.0, 8192, 0.0, 1);
+    fe.handle_at(stream[0], TimeSpan::millis(10.0));
+    fe.handle_at(stream[1], TimeSpan::millis(5.0));
+}

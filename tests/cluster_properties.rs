@@ -1,0 +1,283 @@
+//! Property tests for the discrete-event cluster simulator.
+//!
+//! Three families, mirroring the determinism contract documented in
+//! `ei_sched::des`:
+//!
+//! 1. **Event-queue laws** — dequeue order is monotone in logical time
+//!    and, within one instant, follows push order (the `(time, seq)`
+//!    tie-break), for arbitrary push sequences.
+//! 2. **Replay bit-identity** — `run_cluster_sim` is a pure function of
+//!    its inputs: running the same spec/config/plan twice produces
+//!    bit-identical stats and latency vectors, for both shipped
+//!    policies, under arbitrary fault plans. The Monte-Carlo validation
+//!    the E10 report embeds is likewise thread-count-invariant for any
+//!    seed.
+//! 3. **Request conservation** — no request is ever lost or duplicated:
+//!    every arrival is completed, shed, or left stranded (`unserved`),
+//!    and the set of served request ids is duplicate-free, under
+//!    arbitrary node-death/brownout/NIC-fault plans.
+
+use ei_core::cache::EvalCache;
+use ei_core::units::TimeSpan;
+use ei_hw::faults::{Fault, FaultPlan};
+use ei_sched::des::{
+    run_cluster_sim, ClusterSpec, EnergyLb, EventQueue, Phase, RunOutcome, SimConfig, SimTime,
+    UtilizationLb,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// One fault window in generator form: `(kind, node, from_ms, dur_ms)`.
+type WindowSpec = (u8, usize, u64, u64);
+
+fn arb_windows() -> impl Strategy<Value = Vec<WindowSpec>> {
+    proptest::collection::vec((0u8..3, 0usize..6, 0u64..2_500, 50u64..1_500), 0..5)
+}
+
+/// Builds a real [`FaultPlan`] from generated windows: node deaths
+/// (possibly overlapping on the same node), GPU brownouts, and NIC
+/// degradation, all inside the simulation horizon.
+fn plan_from(seed: u64, windows: &[WindowSpec]) -> FaultPlan {
+    let mut plan = FaultPlan::healthy(seed);
+    for &(kind, node, from_ms, dur_ms) in windows {
+        let from = TimeSpan::millis(from_ms as f64);
+        let until = TimeSpan::millis((from_ms + dur_ms) as f64);
+        let fault = match kind {
+            0 => Fault::NodeDown { node },
+            1 => Fault::GpuBrownout {
+                derate: 0.6,
+                sm_loss: 0.2,
+            },
+            _ => Fault::NicDegraded {
+                loss: 0.15,
+                latency: TimeSpan::millis(1.0),
+            },
+        };
+        plan = plan.window(from, until, fault);
+    }
+    plan
+}
+
+/// A small mixed cluster and a bounded workload that still exercises
+/// batching, autoscaling, and redispatch. The horizon caps the run so a
+/// plan that kills every node cannot stall the simulation.
+fn small_setup(
+    seed: u64,
+    n_requests: u64,
+    rate_rps: f64,
+    p_large: f64,
+) -> (ClusterSpec, SimConfig) {
+    let spec = ClusterSpec::mixed(3, 3);
+    let cfg = SimConfig {
+        seed,
+        n_requests,
+        phases: vec![Phase {
+            duration_s: 0.0,
+            rate_rps,
+            p_large,
+        }],
+        autoscale_tick_ms: 200.0,
+        initial_active: 3,
+        horizon_s: 30.0,
+        track_ids: true,
+        ..SimConfig::default()
+    };
+    (spec, cfg)
+}
+
+/// Runs the baseline policy once and returns the outcome.
+fn run_utilization(spec: &ClusterSpec, cfg: &SimConfig, plan: &FaultPlan) -> RunOutcome {
+    let mut lb = UtilizationLb::new(
+        spec.classes.clone(),
+        spec.assignment.clone(),
+        cfg.initial_active,
+    );
+    run_cluster_sim(spec, cfg, plan, &mut lb)
+}
+
+/// Runs the energy-interface policy once and returns the outcome.
+fn run_energy(spec: &ClusterSpec, cfg: &SimConfig, plan: &FaultPlan) -> RunOutcome {
+    let cache = EvalCache::new();
+    let mut lb = EnergyLb::new(
+        spec.classes.clone(),
+        spec.assignment.clone(),
+        cfg.initial_active,
+        SimTime::from_millis(cfg.slo_ms).0,
+        &cache,
+    );
+    run_cluster_sim(spec, cfg, plan, &mut lb)
+}
+
+/// Everything bit-sensitive about an outcome, in comparable form.
+fn fingerprint(o: &RunOutcome) -> (Vec<u64>, Option<Vec<u64>>, Vec<u64>) {
+    let float_bits = vec![
+        o.stats.mean_batch.to_bits(),
+        o.stats.frac_large.to_bits(),
+        o.stats.makespan_s.to_bits(),
+        o.stats.throughput_rps.to_bits(),
+        o.stats.p50_ms.to_bits(),
+        o.stats.p99_ms.to_bits(),
+        o.stats.p999_ms.to_bits(),
+        o.stats.max_ms.to_bits(),
+        o.stats.dyn_energy_j.to_bits(),
+        o.stats.idle_energy_j.to_bits(),
+        o.stats.total_energy_j.to_bits(),
+        o.stats.j_per_request.to_bits(),
+    ];
+    (float_bits, o.served_ids.clone(), o.latencies_ns.clone())
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary pushes dequeue in monotone logical time, and events
+    /// pushed at the same instant come out in push order.
+    #[test]
+    fn event_queue_dequeues_monotone_and_push_ordered(
+        times in proptest::collection::vec(0u64..1_000, 0..200),
+    ) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime(t), i);
+        }
+        prop_assert_eq!(q.pushed(), times.len() as u64);
+
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = Vec::with_capacity(times.len());
+        while let Some((t, i)) = q.pop() {
+            prop_assert_eq!(t, SimTime(times[i]), "event carries its own time");
+            if let Some((lt, li)) = last {
+                prop_assert!(lt <= t, "time went backwards: {:?} after {:?}", t, lt);
+                if lt == t {
+                    prop_assert!(li < i, "same-instant events out of push order");
+                }
+            }
+            last = Some((t, i));
+            popped.push(i);
+        }
+        prop_assert_eq!(q.len(), 0);
+        prop_assert_eq!(q.popped(), times.len() as u64);
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..times.len()).collect::<Vec<_>>(), "events lost or duplicated");
+    }
+
+    /// Popping never rewinds `now`: after any pop, pushing strictly
+    /// before the popped time panics, and pushing at-or-after succeeds.
+    #[test]
+    fn event_queue_now_is_monotone(times in proptest::collection::vec(1u64..1_000, 1..50)) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime(t), 0);
+        }
+        let mut max_seen = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(q.now() == t);
+            prop_assert!(t >= max_seen);
+            max_seen = t;
+        }
+        // Re-scheduling at the current instant is always legal, and the
+        // re-scheduled event pops at that instant.
+        q.push(max_seen, 1);
+        let (t2, tag) = q.pop().unwrap();
+        prop_assert_eq!((t2, tag), (max_seen, 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both policies replay bit-identically under arbitrary fault plans:
+    /// equal stats structs, equal float bits, equal served-id sets, and
+    /// equal latency vectors.
+    #[test]
+    fn cluster_runs_replay_bit_identical(
+        windows in arb_windows(),
+        seed in 0u64..1_000,
+        n in 50u64..250,
+        rate in 200.0f64..1_200.0,
+        p_large in 0.0f64..1.0,
+    ) {
+        let plan = plan_from(seed, &windows);
+        let (spec, cfg) = small_setup(seed, n, rate, p_large);
+
+        let a = run_utilization(&spec, &cfg, &plan);
+        let b = run_utilization(&spec, &cfg, &plan);
+        prop_assert_eq!(&a.stats, &b.stats, "baseline stats diverge on replay");
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b), "baseline bits diverge on replay");
+
+        let c = run_energy(&spec, &cfg, &plan);
+        let d = run_energy(&spec, &cfg, &plan);
+        prop_assert_eq!(&c.stats, &d.stats, "energy stats diverge on replay");
+        prop_assert_eq!(fingerprint(&c), fingerprint(&d), "energy bits diverge on replay");
+    }
+
+    /// No request is lost or duplicated, whatever the fault plan does:
+    /// every arrival is accounted for exactly once, and the served-id
+    /// list has no duplicates and only valid ids.
+    #[test]
+    fn no_requests_lost_or_duplicated_under_faults(
+        windows in arb_windows(),
+        seed in 0u64..1_000,
+        n in 50u64..250,
+        rate in 200.0f64..1_200.0,
+        p_large in 0.0f64..1.0,
+    ) {
+        let plan = plan_from(seed, &windows);
+        let (spec, cfg) = small_setup(seed, n, rate, p_large);
+
+        for outcome in [
+            run_utilization(&spec, &cfg, &plan),
+            run_energy(&spec, &cfg, &plan),
+        ] {
+            let s = &outcome.stats;
+            prop_assert_eq!(s.arrivals, n, "every configured request must arrive");
+            prop_assert_eq!(
+                s.arrivals,
+                s.completed + s.shed + s.unserved,
+                "conservation violated: {} arrivals vs {} completed + {} shed + {} unserved",
+                s.arrivals, s.completed, s.shed, s.unserved
+            );
+            prop_assert_eq!(
+                s.completed,
+                s.node_completed.iter().sum::<u64>(),
+                "per-node completions must sum to the total"
+            );
+            prop_assert_eq!(outcome.latencies_ns.len() as u64, s.completed);
+
+            let mut ids = outcome.served_ids.expect("track_ids was set");
+            prop_assert_eq!(ids.len() as u64, s.completed);
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "a request id was served twice");
+            for &id in &ids {
+                prop_assert!(id < n, "served id {} out of range", id);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The Monte-Carlo leg of the E10 report is thread-count invariant
+    /// for any seed, not just the shipped one: 1 and 8 worker threads
+    /// produce bit-identical means.
+    #[test]
+    fn mc_validation_is_thread_invariant(seed in 0u64..10_000) {
+        let mc = ei_bench::cluster::mc_thread_validation(seed);
+        prop_assert!(mc.identical, "MC means diverge across thread counts");
+        prop_assert_eq!(
+            mc.mean_1_thread_j.to_bits(),
+            mc.mean_8_threads_j.to_bits()
+        );
+    }
+}

@@ -172,6 +172,17 @@ fn e9_faults_matches_golden() {
     );
 }
 
+/// E10 at the CI smoke shape (10 nodes / 10k requests). The full
+/// 1M-request shape is locked by the `cluster_sim` binary's own
+/// assertions and archived as `BENCH_cluster.json` in CI.
+#[test]
+fn e10_cluster_smoke_matches_golden() {
+    check_golden(
+        "e10_cluster.json",
+        &ei_bench::cluster::run_with(&ei_bench::cluster::E10Config::smoke()).to_value(),
+    );
+}
+
 /// The golden corpus itself must be well-formed JSON that round-trips
 /// through the serializer (guards against hand-edited corruption).
 #[test]

@@ -326,6 +326,26 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let parsed: Result<Vec<T>, DeError> = items.iter().map(T::from_value).collect();
+                parsed?
+                    .try_into()
+                    .map_err(|_| DeError::msg("array length changed during conversion"))
+            }
+            other => Err(DeError::expected("fixed-length array", other)),
+        }
+    }
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
         Value::Object(
