@@ -1,0 +1,147 @@
+//! Runtime golden-corpus checking for `repro_all`.
+//!
+//! The root integration test (`tests/golden_experiments.rs`) is the
+//! authoritative CI gate; this module gives the `repro_all` binary the
+//! same tolerance diff so a full reproduction run can end with one
+//! per-experiment OK/MISMATCH summary table and a nonzero exit code when
+//! any frozen number moved. Tolerances mirror the integration test:
+//! numeric leaves compare with relative slack (cross-platform libm),
+//! everything else must match exactly.
+
+use serde::Value;
+
+/// Relative tolerance for numeric leaves (matches `golden_experiments`).
+pub const REL_TOL: f64 = 1e-6;
+/// Absolute floor for comparisons near zero.
+pub const ABS_TOL: f64 = 1e-12;
+
+/// Outcome of checking one report against its golden file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoldenStatus {
+    /// Every leaf matched within tolerance.
+    Ok,
+    /// The golden file does not exist (new experiment, not yet blessed).
+    Missing,
+    /// At least one leaf diverged; each entry is a `path: expected vs got`
+    /// line.
+    Mismatch(Vec<String>),
+}
+
+impl GoldenStatus {
+    /// Mismatches fail the run; a missing golden is reported but does not
+    /// (blessing happens through the integration test, not here).
+    pub fn is_failure(&self) -> bool {
+        matches!(self, GoldenStatus::Mismatch(_))
+    }
+}
+
+/// The golden corpus directory, resolved relative to this crate so the
+/// binary finds it regardless of the working directory.
+pub fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Diffs `actual` against `tests/golden/<name>` with the corpus
+/// tolerances.
+pub fn check(name: &str, actual: &Value) -> GoldenStatus {
+    let path = golden_dir().join(name);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(_) => return GoldenStatus::Missing,
+    };
+    let expected: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => return GoldenStatus::Mismatch(vec![format!("{name}: unparseable golden: {e}")]),
+    };
+    let mut diffs = Vec::new();
+    diff_value(&expected, actual, name.to_string(), &mut diffs);
+    if diffs.is_empty() {
+        GoldenStatus::Ok
+    } else {
+        GoldenStatus::Mismatch(diffs)
+    }
+}
+
+/// Structural diff: numbers within tolerance, everything else exact.
+fn diff_value(expected: &Value, actual: &Value, path: String, diffs: &mut Vec<String>) {
+    match (expected, actual) {
+        (e, a) if e.as_f64().is_some() && a.as_f64().is_some() => {
+            let (e, a) = (e.as_f64().unwrap(), a.as_f64().unwrap());
+            let scale = e.abs().max(a.abs());
+            if (e - a).abs() > ABS_TOL + REL_TOL * scale {
+                diffs.push(format!("{path}: expected {e}, got {a}"));
+            }
+        }
+        (Value::Array(e), Value::Array(a)) => {
+            if e.len() != a.len() {
+                diffs.push(format!(
+                    "{path}: expected {} elements, got {}",
+                    e.len(),
+                    a.len()
+                ));
+                return;
+            }
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                diff_value(ev, av, format!("{path}[{i}]"), diffs);
+            }
+        }
+        (Value::Object(e), Value::Object(a)) => {
+            let ekeys: Vec<&str> = e.iter().map(|(k, _)| k.as_str()).collect();
+            let akeys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            if ekeys != akeys {
+                diffs.push(format!("{path}: keys {ekeys:?} vs {akeys:?}"));
+                return;
+            }
+            for ((k, ev), (_, av)) in e.iter().zip(a) {
+                diff_value(ev, av, format!("{path}.{k}"), diffs);
+            }
+        }
+        (e, a) => {
+            if e != a {
+                diffs.push(format!("{path}: expected {e:?}, got {a:?}"));
+            }
+        }
+    }
+}
+
+/// One rendered summary line, e.g. `E11 drift            OK    (e11_drift.json)`.
+pub fn summary_line(label: &str, name: &str, status: &GoldenStatus) -> String {
+    let verdict = match status {
+        GoldenStatus::Ok => "OK".to_string(),
+        GoldenStatus::Missing => "no golden".to_string(),
+        GoldenStatus::Mismatch(diffs) => format!("MISMATCH ({} diff(s))", diffs.len()),
+    };
+    format!("  {label:<22} {verdict:<20} {name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerant_on_libm_noise_strict_on_structure() {
+        let expected: Value =
+            serde_json::from_str(r#"{"a": 1.0, "b": [2.0, 3.0], "c": "x"}"#).unwrap();
+        let nearly =
+            serde_json::from_str(r#"{"a": 1.0000000001, "b": [2.0, 3.0], "c": "x"}"#).unwrap();
+        let mut diffs = Vec::new();
+        diff_value(&expected, &nearly, "t".into(), &mut diffs);
+        assert!(diffs.is_empty(), "{diffs:?}");
+
+        let wrong: Value = serde_json::from_str(r#"{"a": 1.1, "b": [2.0], "c": "y"}"#).unwrap();
+        diffs.clear();
+        diff_value(&expected, &wrong, "t".into(), &mut diffs);
+        assert_eq!(diffs.len(), 3, "{diffs:?}");
+    }
+
+    #[test]
+    fn check_resolves_the_shared_corpus() {
+        // The corpus ships with the repo, so a known file must be found and
+        // match itself.
+        let text = std::fs::read_to_string(golden_dir().join("table1.json")).unwrap();
+        let value: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(check("table1.json", &value), GoldenStatus::Ok);
+        assert_eq!(check("does_not_exist.json", &value), GoldenStatus::Missing);
+        assert!(check("fig2.json", &value).is_failure());
+    }
+}

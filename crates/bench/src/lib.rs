@@ -7,7 +7,9 @@
 
 pub mod ablation;
 pub mod cluster;
+pub mod drift;
 pub mod experiments;
 pub mod fig1;
 pub mod fig2;
+pub mod golden;
 pub mod table1;

@@ -54,6 +54,7 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod registry;
 pub mod sema;
 pub mod span;
 pub mod stack;
@@ -65,5 +66,6 @@ pub use cache::EvalCache;
 pub use dist::EnergyDist;
 pub use error::{Error, Result};
 pub use interface::{InputSpec, Interface};
+pub use registry::{InterfaceRegistry, InterfaceVersion};
 pub use units::{Calibration, Energy, EnergyVec, Power, TimeSpan};
 pub use value::Value;

@@ -1,0 +1,97 @@
+//! Property tests of the fitting layer's degenerate-input behaviour:
+//! rank-deficient designs, constant and duplicate columns, empty and
+//! singleton shapes, and zero-valued measurements must never panic and
+//! never produce NaN in a returned report — they either fit finitely or
+//! error cleanly.
+
+use ei_core::interp::EvalConfig;
+use ei_core::parser::parse;
+use ei_core::units::Energy;
+use ei_core::value::Value;
+use ei_extract::fit::{least_squares, validate_interface};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary degenerate designs — all-constant columns, ragged rows,
+    /// mismatched target lengths — either fit with finite numbers or
+    /// return an error; panics and NaN are both bugs.
+    #[test]
+    fn least_squares_never_panics_or_yields_nan(
+        n in 0usize..12,
+        k in 0usize..5,
+        fill in -1e6f64..1e6,
+        ragged in any::<bool>(),
+        y in proptest::collection::vec(-1e9f64..1e9, 0..12),
+    ) {
+        let mut rows: Vec<Vec<f64>> = (0..n).map(|_| vec![fill; k]).collect();
+        if ragged && n >= 2 {
+            rows[1].push(1.0);
+        }
+        if let Ok(fit) = least_squares(&rows, &y) {
+            prop_assert!(fit.coefficients.iter().all(|c| c.is_finite()), "{:?}", fit);
+            prop_assert!(!fit.rmse.is_nan());
+            prop_assert!(!fit.r_squared.is_nan());
+        }
+    }
+
+    /// Duplicate columns are exactly rank-deficient; the ridge term must
+    /// keep the solve finite, and the *sum* of the duplicated weights
+    /// must still recover the generating slope.
+    #[test]
+    fn duplicate_columns_fit_finitely_and_predict(
+        slope in 0.5f64..50.0,
+        n in 4usize..16,
+    ) {
+        let rows: Vec<Vec<f64>> = (1..=n).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (1..=n).map(|i| slope * i as f64).collect();
+        let fit = least_squares(&rows, &y).unwrap();
+        prop_assert!(fit.coefficients.iter().all(|c| c.is_finite()));
+        let recovered = fit.coefficients[0] + fit.coefficients[1];
+        prop_assert!(
+            (recovered - slope).abs() < 1e-3 * slope.max(1.0),
+            "split weights {:?} must sum to the slope {slope}",
+            fit.coefficients
+        );
+    }
+
+    /// Empty and length-mismatched shapes error instead of panicking;
+    /// a consistent singleton system is allowed to fit.
+    #[test]
+    fn empty_and_singleton_shapes_are_handled(v in 1.0f64..1e3) {
+        prop_assert!(least_squares(&[], &[]).is_err());
+        prop_assert!(least_squares(&[vec![v]], &[]).is_err());
+        prop_assert!(least_squares(&[], &[v]).is_err());
+        // Underdetermined: one row, two unknowns.
+        prop_assert!(least_squares(&[vec![v, 2.0 * v]], &[1.0]).is_err());
+        if let Ok(fit) = least_squares(&[vec![v]], &[3.0 * v]) {
+            prop_assert!(fit.coefficients[0].is_finite());
+            prop_assert!(!fit.rmse.is_nan());
+        }
+    }
+
+    /// Validation against measurements that include exact zeros (a
+    /// quantized meter read) stays NaN-free, and shape mismatches error
+    /// cleanly rather than indexing out of bounds.
+    #[test]
+    fn validate_interface_is_nan_free_on_degenerate_measurements(
+        meas in proptest::collection::vec(0.0f64..1e3, 1..8),
+    ) {
+        let iface = parse("interface probe { fn f(x) { return 1 J * x; } }").unwrap();
+        let argsets: Vec<Vec<Value>> =
+            (0..meas.len()).map(|i| vec![Value::Num(i as f64)]).collect();
+        let measured: Vec<Energy> = meas.iter().map(|&m| Energy::joules(m)).collect();
+        let cfg = EvalConfig::default();
+
+        let report = validate_interface(&iface, "f", &argsets, &measured, &cfg).unwrap();
+        prop_assert!(!report.mean_rel_error.is_nan());
+        prop_assert!(!report.max_rel_error.is_nan());
+        prop_assert!(report.rel_errors.iter().all(|e| !e.is_nan()));
+
+        // Dropping one argset always mismatches (or empties) the shapes.
+        let short = &argsets[..argsets.len() - 1];
+        prop_assert!(validate_interface(&iface, "f", short, &measured, &cfg).is_err());
+        prop_assert!(validate_interface(&iface, "f", &[], &[], &cfg).is_err());
+    }
+}

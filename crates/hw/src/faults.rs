@@ -58,6 +58,64 @@ pub enum Fault {
         /// Index of the dead node in the cluster's node list.
         node: usize,
     },
+    /// Slow calibration-parameter drift (aging, thermal derating): the
+    /// device's *energy* behavior moves away from the constants any
+    /// previously fitted interface was calibrated against, without any
+    /// acute failure. `magnitude` is the full-development size of the
+    /// drift — a fractional change for the scale parameters (`0.35`
+    /// means +35% at full development) or Watts for the additive ones —
+    /// and `shape` says how the window approaches it.
+    ParamDrift {
+        /// Which calibration parameter drifts.
+        param: DriftParam,
+        /// How the drift develops across the window.
+        shape: DriftShape,
+        /// Full-development magnitude (fraction for scales, Watts for
+        /// static power).
+        magnitude: f64,
+    },
+}
+
+/// Which device calibration parameter a [`Fault::ParamDrift`] moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftParam {
+    /// Multiplicative drift on every per-event GPU dynamic energy
+    /// (instructions, cache wavefronts/sectors, VRAM traffic) — and so,
+    /// transitively, on every CNN-layer energy calibrated from them.
+    GpuEnergyScale,
+    /// Additive drift on the GPU's static power draw, Watts.
+    GpuStaticPower,
+    /// Multiplicative drift on the NIC's per-event energies (wake,
+    /// per-packet, per-byte).
+    NicEnergyScale,
+}
+
+/// How a [`Fault::ParamDrift`] develops across its window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftShape {
+    /// Linear ramp from 0 at `from` to the full magnitude at `until`.
+    /// Chain a `Ramp` window with a `Hold` window starting at the ramp's
+    /// `until` to model "drifts, then stays drifted".
+    Ramp,
+    /// Full magnitude throughout the window.
+    Hold,
+}
+
+impl DriftShape {
+    /// Development fraction in `[0, 1]` at `now` inside `[from, until)`.
+    fn progress(self, now: TimeSpan, from: TimeSpan, until: TimeSpan) -> f64 {
+        match self {
+            DriftShape::Hold => 1.0,
+            DriftShape::Ramp => {
+                let dur = until.as_seconds() - from.as_seconds();
+                if dur <= 0.0 {
+                    1.0
+                } else {
+                    ((now.as_seconds() - from.as_seconds()) / dur).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
 }
 
 /// A fault active over a half-open window `[from, until)` of the logical
@@ -95,7 +153,23 @@ impl FaultPlan {
     }
 
     /// Builder: adds a fault window.
+    ///
+    /// Windows are half-open `[from, until)`. An inverted window
+    /// (`from > until`) is a caller bug: it trips a `debug_assert` and
+    /// is saturatingly normalized to the empty window `[from, from)` in
+    /// release builds, which never activates.
     pub fn window(mut self, from: TimeSpan, until: TimeSpan, fault: Fault) -> Self {
+        debug_assert!(
+            from.as_seconds() <= until.as_seconds(),
+            "inverted fault window: from {:?} > until {:?}",
+            from,
+            until
+        );
+        let until = if until.as_seconds() < from.as_seconds() {
+            from
+        } else {
+            until
+        };
         self.windows.push(FaultWindow { from, until, fault });
         self
     }
@@ -128,6 +202,22 @@ impl FaultPlan {
                 Fault::CacheNodeDown => st.remote_alive = false,
                 Fault::MeterDropout => st.meter_dropout = true,
                 Fault::NodeDown { .. } => {}
+                Fault::ParamDrift {
+                    param,
+                    shape,
+                    magnitude,
+                } => {
+                    let dev = magnitude * shape.progress(now, w.from, w.until);
+                    match param {
+                        DriftParam::GpuEnergyScale => {
+                            st.gpu_energy_scale *= (1.0 + dev).max(0.05);
+                        }
+                        DriftParam::GpuStaticPower => st.gpu_static_w += dev,
+                        DriftParam::NicEnergyScale => {
+                            st.nic_energy_scale *= (1.0 + dev).max(0.05);
+                        }
+                    }
+                }
             }
         }
         st
@@ -208,6 +298,12 @@ pub struct FaultState {
     pub remote_alive: bool,
     /// Whether the energy meter has stopped updating.
     pub meter_dropout: bool,
+    /// Multiplier on GPU per-event dynamic energies; 1.0 is healthy.
+    pub gpu_energy_scale: f64,
+    /// Watts added to the GPU's static power draw; 0.0 is healthy.
+    pub gpu_static_w: f64,
+    /// Multiplier on NIC per-event energies; 1.0 is healthy.
+    pub nic_energy_scale: f64,
 }
 
 impl FaultState {
@@ -220,6 +316,9 @@ impl FaultState {
             nic_latency: TimeSpan::ZERO,
             remote_alive: true,
             meter_dropout: false,
+            gpu_energy_scale: 1.0,
+            gpu_static_w: 0.0,
+            nic_energy_scale: 1.0,
         }
     }
 
@@ -231,11 +330,17 @@ impl FaultState {
             && self.nic_latency == TimeSpan::ZERO
             && self.remote_alive
             && !self.meter_dropout
+            && !self.drifted()
     }
 
     /// True when the GPU is browned out at all.
     pub fn gpu_browned(&self) -> bool {
         self.gpu_derate < 1.0 || self.gpu_sm_loss > 0.0
+    }
+
+    /// True when any calibration parameter has drifted off nominal.
+    pub fn drifted(&self) -> bool {
+        self.gpu_energy_scale != 1.0 || self.gpu_static_w != 0.0 || self.nic_energy_scale != 1.0
     }
 }
 
@@ -434,5 +539,137 @@ mod tests {
             let json = serde_json::to_string(&sc.plan.to_value()).unwrap();
             assert!(json.contains("windows"));
         }
+    }
+
+    #[test]
+    fn drift_ramp_develops_linearly_and_hold_is_flat() {
+        let plan = FaultPlan::healthy(1)
+            .window(
+                TimeSpan::seconds(2.0),
+                TimeSpan::seconds(6.0),
+                Fault::ParamDrift {
+                    param: DriftParam::GpuEnergyScale,
+                    shape: DriftShape::Ramp,
+                    magnitude: 0.4,
+                },
+            )
+            .window(
+                TimeSpan::seconds(6.0),
+                TimeSpan::seconds(10.0),
+                Fault::ParamDrift {
+                    param: DriftParam::GpuEnergyScale,
+                    shape: DriftShape::Hold,
+                    magnitude: 0.4,
+                },
+            );
+        assert!(plan.state_at(TimeSpan::seconds(1.9)).is_healthy());
+        let quarter = plan.state_at(TimeSpan::seconds(3.0));
+        assert!((quarter.gpu_energy_scale - 1.1).abs() < 1e-12);
+        assert!(quarter.drifted() && !quarter.is_healthy());
+        // The hold window picks up exactly where the ramp left off.
+        let held = plan.state_at(TimeSpan::seconds(8.0));
+        assert!((held.gpu_energy_scale - 1.4).abs() < 1e-12);
+        assert!(plan.state_at(TimeSpan::seconds(10.0)).is_healthy());
+    }
+
+    #[test]
+    fn drift_params_compose_independently() {
+        let plan = FaultPlan::healthy(1)
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(4.0),
+                Fault::ParamDrift {
+                    param: DriftParam::GpuStaticPower,
+                    shape: DriftShape::Hold,
+                    magnitude: 25.0,
+                },
+            )
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(4.0),
+                Fault::ParamDrift {
+                    param: DriftParam::NicEnergyScale,
+                    shape: DriftShape::Hold,
+                    magnitude: 0.5,
+                },
+            )
+            .window(
+                TimeSpan::ZERO,
+                TimeSpan::seconds(4.0),
+                Fault::ParamDrift {
+                    param: DriftParam::NicEnergyScale,
+                    shape: DriftShape::Hold,
+                    magnitude: 0.5,
+                },
+            );
+        let st = plan.state_at(TimeSpan::seconds(1.0));
+        assert_eq!(st.gpu_static_w, 25.0);
+        assert!(
+            (st.nic_energy_scale - 2.25).abs() < 1e-12,
+            "overlapping scale drifts multiply"
+        );
+        assert_eq!(st.gpu_energy_scale, 1.0);
+        // Drift never disturbs the acute-fault fields.
+        assert_eq!(st.gpu_derate, 1.0);
+        assert!(st.remote_alive && !st.meter_dropout);
+    }
+
+    #[test]
+    fn negative_scale_drift_saturates_above_zero() {
+        let plan = FaultPlan::healthy(1).window(
+            TimeSpan::ZERO,
+            TimeSpan::seconds(1.0),
+            Fault::ParamDrift {
+                param: DriftParam::GpuEnergyScale,
+                shape: DriftShape::Hold,
+                magnitude: -2.0,
+            },
+        );
+        let st = plan.state_at(TimeSpan::seconds(0.5));
+        assert!(st.gpu_energy_scale > 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inverted fault window")]
+    fn inverted_window_trips_the_debug_assert() {
+        let _ = FaultPlan::healthy(1).window(
+            TimeSpan::seconds(5.0),
+            TimeSpan::seconds(1.0),
+            Fault::CacheNodeDown,
+        );
+    }
+
+    #[test]
+    fn hand_built_inverted_and_zero_length_windows_are_inert() {
+        // Inverted and zero-length windows can still reach `state_at`
+        // through deserialized plans or release-mode normalization; the
+        // half-open test must keep them inert everywhere.
+        let mut plan = FaultPlan::healthy(1);
+        plan.windows.push(FaultWindow {
+            from: TimeSpan::seconds(5.0),
+            until: TimeSpan::seconds(1.0),
+            fault: Fault::CacheNodeDown,
+        });
+        plan.windows.push(FaultWindow {
+            from: TimeSpan::seconds(2.0),
+            until: TimeSpan::seconds(2.0),
+            fault: Fault::MeterDropout,
+        });
+        plan.windows.push(FaultWindow {
+            from: TimeSpan::seconds(3.0),
+            until: TimeSpan::seconds(3.0),
+            fault: Fault::NodeDown { node: 1 },
+        });
+        for k in 0..60 {
+            let t = TimeSpan::seconds(k as f64 * 0.1);
+            assert!(plan.state_at(t).is_healthy(), "active at {t:?}");
+            assert!(plan.nodes_down_at(t).is_empty());
+        }
+        assert!(plan.worst_brownout().is_none());
+        let frac = plan.fraction_of_time(TimeSpan::seconds(6.0), TimeSpan::millis(10.0), |st| {
+            !st.is_healthy()
+        });
+        assert_eq!(frac, 0.0);
     }
 }

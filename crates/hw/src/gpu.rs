@@ -205,6 +205,11 @@ pub struct GpuSim {
     fault_derate: f64,
     /// Injected fraction of SMs offlined; 0.0 is healthy.
     fault_sm_loss: f64,
+    /// Injected drift multiplier on per-event dynamic energies; 1.0 is
+    /// nominal.
+    drift_energy_scale: f64,
+    /// Injected drift on static power draw, Watts added; 0.0 is nominal.
+    drift_static_w: f64,
 }
 
 /// Per-kernel execution report.
@@ -234,6 +239,8 @@ impl GpuSim {
             warmth: 0.0,
             fault_derate: 1.0,
             fault_sm_loss: 0.0,
+            drift_energy_scale: 1.0,
+            drift_static_w: 0.0,
         }
     }
 
@@ -256,6 +263,33 @@ impl GpuSim {
     /// The injected `(derate, sm_loss)` currently active.
     pub fn active_fault(&self) -> (f64, f64) {
         (self.fault_derate, self.fault_sm_loss)
+    }
+
+    /// Injects calibration drift: per-event dynamic energies are scaled
+    /// by `energy_scale` and the static draw gains `static_add_w` Watts
+    /// (aging silicon leaks more and switches less efficiently). Unlike
+    /// [`Self::set_fault`], drift changes *energy per event*, not timing
+    /// — the signature an interface fitted on the nominal part cannot
+    /// predict. Values are clamped to physically plausible ranges.
+    pub fn set_drift(&mut self, energy_scale: f64, static_add_w: f64) {
+        self.drift_energy_scale = energy_scale.clamp(0.05, 20.0);
+        self.drift_static_w = static_add_w.max(-self.config.static_power.as_watts() * 0.95);
+    }
+
+    /// Clears any injected drift (nominal calibration).
+    pub fn clear_drift(&mut self) {
+        self.drift_energy_scale = 1.0;
+        self.drift_static_w = 0.0;
+    }
+
+    /// The injected `(energy_scale, static_add_w)` drift currently active.
+    pub fn active_drift(&self) -> (f64, f64) {
+        (self.drift_energy_scale, self.drift_static_w)
+    }
+
+    /// Static power including drift.
+    fn static_power(&self) -> Power {
+        Power::watts(self.config.static_power.as_watts() + self.drift_static_w)
     }
 
     /// The device configuration.
@@ -299,7 +333,7 @@ impl GpuSim {
     /// Lets idle time pass (consumes static power only; the part cools).
     pub fn idle(&mut self, t: TimeSpan) {
         self.counters.elapsed += t;
-        self.energy += self.config.static_power.over(t);
+        self.energy += self.static_power().over(t);
         let warmup = self.config.droop_warmup.as_seconds().max(1e-9);
         self.warmth = (self.warmth - t.as_seconds() / (4.0 * warmup)).max(0.0);
     }
@@ -308,7 +342,7 @@ impl GpuSim {
     pub fn flush_caches(&mut self) {
         let wb = self.l2.flush();
         self.counters.vram_sectors_written += wb;
-        self.energy += self.config.e_vram_sector * wb as f64;
+        self.energy += self.config.e_vram_sector * (wb as f64 * self.drift_energy_scale);
     }
 
     /// Current thermal state in `[0, 1]`.
@@ -323,6 +357,7 @@ impl GpuSim {
         self.energy = Energy::ZERO;
         self.warmth = 0.0;
         self.clear_fault();
+        self.clear_drift();
     }
 
     /// Executes one kernel and returns its energy/time report.
@@ -370,11 +405,12 @@ impl GpuSim {
             / (self.config.vram_bandwidth * derate);
         let duration = TimeSpan::seconds(compute_time.max(mem_time).max(2e-6));
 
-        let dynamic = self.config.e_instruction * instructions
+        let dynamic = (self.config.e_instruction * instructions
             + self.config.e_l1_wavefront * l1_wavefronts
             + self.config.e_l2_sector * l2_sectors as f64
-            + self.config.e_vram_sector * (vram_read + vram_written) as f64;
-        let energy = dynamic + self.config.static_power.over(duration);
+            + self.config.e_vram_sector * (vram_read + vram_written) as f64)
+            * self.drift_energy_scale;
+        let energy = dynamic + self.static_power().over(duration);
 
         self.counters.instructions += instructions;
         self.counters.l1_wavefronts += l1_wavefronts;
@@ -389,6 +425,9 @@ impl GpuSim {
         ei_telemetry::counter_add("hw.gpu.kernel_launches", 1);
         if self.fault_derate < 1.0 || self.fault_sm_loss > 0.0 {
             ei_telemetry::counter_add("hw.gpu.faulted_launches", 1);
+        }
+        if self.drift_energy_scale != 1.0 || self.drift_static_w != 0.0 {
+            ei_telemetry::counter_add("hw.gpu.drifted_launches", 1);
         }
         ei_telemetry::observe(
             "hw.gpu.kernel_energy_j",
@@ -619,6 +658,51 @@ mod tests {
         let rh = healthy.launch(&k);
         let rl = lossy.launch(&k);
         assert!(rl.duration.as_seconds() > 1.9 * rh.duration.as_seconds());
+    }
+
+    #[test]
+    fn drift_scales_dynamic_energy_without_touching_timing() {
+        let k = KernelDesc::new("gemm", 1e9, 1e6);
+        let mut nominal = sim();
+        let mut drifted = sim();
+        drifted.set_drift(1.5, 0.0);
+        let rn = nominal.launch(&k);
+        let rd = drifted.launch(&k);
+        assert_eq!(rd.duration, rn.duration, "drift must not change timing");
+        // Dynamic dominates this kernel, so energy grows toward 1.5x
+        // (the static share over the unchanged duration dilutes it).
+        let ratio = rd.energy.as_joules() / rn.energy.as_joules();
+        assert!(ratio > 1.4 && ratio < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn static_drift_charges_idle_and_launch_time() {
+        let mut g = sim();
+        g.set_drift(1.0, 12.0);
+        g.idle(TimeSpan::seconds(2.0));
+        assert!((g.energy().as_joules() - 2.0 * (58.0 + 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cleared_drift_is_bit_identical_to_nominal() {
+        let k = KernelDesc::new("gemm", 1e9, 1e6);
+        let mut a = sim();
+        let mut b = sim();
+        b.set_drift(1.7, 20.0);
+        b.clear_drift();
+        assert_eq!(b.active_drift(), (1.0, 0.0));
+        let ra = a.launch(&k);
+        let rb = b.launch(&k);
+        assert_eq!(ra.energy, rb.energy);
+        assert_eq!(ra.duration, rb.duration);
+    }
+
+    #[test]
+    fn reset_clears_drift() {
+        let mut g = sim();
+        g.set_drift(2.0, 5.0);
+        g.reset();
+        assert_eq!(g.active_drift(), (1.0, 0.0));
     }
 
     #[test]

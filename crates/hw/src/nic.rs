@@ -69,6 +69,8 @@ pub struct NicSim {
     packets: u64,
     bytes: u64,
     wakeups: u64,
+    /// Injected drift multiplier on per-event energies; 1.0 is nominal.
+    drift_energy_scale: f64,
     /// Injected per-packet loss probability; 0.0 is healthy.
     fault_loss: f64,
     /// Injected completion-latency spike per transfer.
@@ -91,6 +93,7 @@ impl NicSim {
             packets: 0,
             bytes: 0,
             wakeups: 0,
+            drift_energy_scale: 1.0,
             fault_loss: 0.0,
             fault_latency: TimeSpan::ZERO,
             fault_rng: StdRng::seed_from_u64(0),
@@ -117,6 +120,24 @@ impl NicSim {
     pub fn clear_fault(&mut self) {
         self.fault_loss = 0.0;
         self.fault_latency = TimeSpan::ZERO;
+    }
+
+    /// Injects calibration drift: the per-event energies (wake, packet,
+    /// byte) are scaled by `energy_scale`. Timing, loss, and awake-idle
+    /// accounting are untouched — the link still works, it just costs a
+    /// different amount than any previously fitted interface believes.
+    pub fn set_drift(&mut self, energy_scale: f64) {
+        self.drift_energy_scale = energy_scale.clamp(0.05, 20.0);
+    }
+
+    /// Clears any injected drift (nominal per-event energies).
+    pub fn clear_drift(&mut self) {
+        self.drift_energy_scale = 1.0;
+    }
+
+    /// The injected drift scale currently active.
+    pub fn active_drift(&self) -> f64 {
+        self.drift_energy_scale
     }
 
     /// Retransmitted packets so far (0 while healthy).
@@ -173,7 +194,7 @@ impl NicSim {
             }
         }
         if !self.awake {
-            e += self.config.e_wake;
+            e += self.config.e_wake * self.drift_energy_scale;
             self.wakeups += 1;
             self.awake = true;
         }
@@ -195,8 +216,8 @@ impl NicSim {
             }
         }
         let retx_bytes = retx * 1500;
-        e += self.config.e_packet * (packets + retx) as f64;
-        e += self.config.e_byte * (bytes + retx_bytes) as f64;
+        e += self.config.e_packet * ((packets + retx) as f64 * self.drift_energy_scale);
+        e += self.config.e_byte * ((bytes + retx_bytes) as f64 * self.drift_energy_scale);
         let tx_time = (bytes + retx_bytes) as f64 / self.config.bandwidth;
         e += self.config.idle_power.over(TimeSpan::seconds(tx_time));
         let latency = TimeSpan::seconds(tx_time) + self.fault_latency;
@@ -302,6 +323,26 @@ mod tests {
         nic.clear_fault();
         let (_, cleared) = nic.transfer_timed(TimeSpan::millis(2.0), 1500);
         assert_eq!(cleared, base);
+    }
+
+    #[test]
+    fn drift_scales_per_event_energy_and_clears_clean() {
+        let mut nominal = NicSim::new(datacenter_nic());
+        let mut drifted = NicSim::new(datacenter_nic());
+        drifted.set_drift(1.5);
+        let (en, tn) = nominal.transfer_timed(TimeSpan::ZERO, 150_000);
+        let (ed, td) = drifted.transfer_timed(TimeSpan::ZERO, 150_000);
+        assert_eq!(td, tn, "drift must not change timing");
+        // Per-event terms carry the drift; the tx-time idle share over
+        // the unchanged wire time dilutes the ratio below the full 1.5x.
+        let ratio = ed.as_joules() / en.as_joules();
+        assert!(ratio > 1.25 && ratio < 1.5, "ratio {ratio}");
+
+        drifted.clear_drift();
+        assert_eq!(drifted.active_drift(), 1.0);
+        let (en2, _) = nominal.transfer_timed(TimeSpan::millis(1.0), 1500);
+        let (ed2, _) = drifted.transfer_timed(TimeSpan::millis(1.0), 1500);
+        assert_eq!(ed2, en2, "cleared drift must be bit-identical");
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod rng;
 mod sim;
 
 pub use node::{NodeClass, NodeState, SimRequest, N_REQ_CLASSES};
-pub use policy::{EnergyLb, LbPolicy, NodeView, UtilizationLb};
+pub use policy::{DriftSwapLb, EnergyLb, LbPolicy, NodeView, UtilizationLb};
 pub use queue::{EventQueue, SimTime};
 pub use rng::SplitMix64;
 pub use sim::{run_cluster_sim, ClusterSpec, Phase, RunOutcome, RunStats, SimConfig};

@@ -21,8 +21,10 @@
 
 use ei_core::cache::EvalCache;
 use ei_core::ecv::EcvEnv;
+use ei_core::interface::Interface;
 use ei_core::interp::{evaluate_batch, EvalConfig, ExecMode};
 use ei_core::value::Value;
+use ei_telemetry as telemetry;
 
 use super::node::{NodeClass, N_REQ_CLASSES};
 
@@ -154,6 +156,66 @@ pub struct EnergyLb {
     order: Vec<usize>,
     slo_ns: u64,
     target: usize,
+    swaps: u64,
+}
+
+/// Evaluates one marginal-energy table and `p_active_w` per interface,
+/// through `cache` under [`ExecMode::Auto`] (the bytecode VM carries the
+/// sweeps). Shared by construction and live swaps so both paths produce
+/// bit-identical tables for identical interfaces.
+fn evaluate_tables(
+    interfaces: &[Interface],
+    cache: &EvalCache,
+) -> (Vec<Vec<[f64; N_REQ_CLASSES]>>, Vec<f64>) {
+    let cfg = EvalConfig {
+        mode: ExecMode::Auto,
+        ..EvalConfig::default()
+    };
+    let env = EcvEnv::new();
+    let mut marginal = Vec::with_capacity(interfaces.len());
+    let mut p_active = Vec::with_capacity(interfaces.len());
+    for iface in interfaces {
+        let mut argsets = Vec::with_capacity(MARGINAL_TABLE_DEPTH * N_REQ_CLASSES);
+        for q in 0..MARGINAL_TABLE_DEPTH {
+            for c in 0..N_REQ_CLASSES {
+                argsets.push(vec![Value::Num(q as f64), Value::Num(c as f64)]);
+            }
+        }
+        let energies = evaluate_batch(iface, "e_marginal", &argsets, &env, 0, &cfg)
+            .expect("e_marginal evaluates over the table grid");
+        let mut table = vec![[0.0; N_REQ_CLASSES]; MARGINAL_TABLE_DEPTH];
+        for (slot, e) in energies.iter().enumerate() {
+            table[slot / N_REQ_CLASSES][slot % N_REQ_CLASSES] = e.as_joules();
+        }
+        marginal.push(table);
+        let pw = cache
+            .expected_energy_cached(iface, "p_active_w", &[], &cfg)
+            .expect("p_active_w evaluates");
+        p_active.push(pw.as_joules());
+    }
+    (marginal, p_active)
+}
+
+/// Activation order: cheapest predicted Joules per request at full
+/// utilization first — static share (interface `p_active_w` over the
+/// class's capacity) plus the full-batch marginal (interface
+/// `e_marginal` at the table floor). Ties break on index.
+fn activation_order_for(
+    classes: &[NodeClass],
+    assignment: &[usize],
+    marginal: &[Vec<[f64; N_REQ_CLASSES]>],
+    p_active: &[f64],
+) -> Vec<usize> {
+    let score = |i: &usize| {
+        let c = assignment[*i];
+        let cap = classes[c].capacity_rps_mix(0.25).max(1e-9);
+        let static_share = p_active[c] / cap;
+        let marg = marginal[c][MARGINAL_TABLE_DEPTH - 1][0];
+        static_share + marg
+    };
+    let mut order: Vec<usize> = (0..assignment.len()).collect();
+    order.sort_by(|a, b| score(a).total_cmp(&score(b)).then(a.cmp(b)));
+    order
 }
 
 impl EnergyLb {
@@ -172,48 +234,9 @@ impl EnergyLb {
         slo_ns: u64,
         cache: &EvalCache,
     ) -> Self {
-        let cfg = EvalConfig {
-            mode: ExecMode::Auto,
-            ..EvalConfig::default()
-        };
-        let env = EcvEnv::new();
-        let mut marginal = Vec::with_capacity(classes.len());
-        let mut p_active = Vec::with_capacity(classes.len());
-        for class in &classes {
-            let iface = class.interface();
-            let mut argsets = Vec::with_capacity(MARGINAL_TABLE_DEPTH * N_REQ_CLASSES);
-            for q in 0..MARGINAL_TABLE_DEPTH {
-                for c in 0..N_REQ_CLASSES {
-                    argsets.push(vec![Value::Num(q as f64), Value::Num(c as f64)]);
-                }
-            }
-            let energies = evaluate_batch(&iface, "e_marginal", &argsets, &env, 0, &cfg)
-                .expect("e_marginal evaluates over the table grid");
-            let mut table = vec![[0.0; N_REQ_CLASSES]; MARGINAL_TABLE_DEPTH];
-            for (slot, e) in energies.iter().enumerate() {
-                table[slot / N_REQ_CLASSES][slot % N_REQ_CLASSES] = e.as_joules();
-            }
-            marginal.push(table);
-            let pw = cache
-                .expected_energy_cached(&iface, "p_active_w", &[], &cfg)
-                .expect("p_active_w evaluates");
-            p_active.push(pw.as_joules());
-        }
-
-        // Activation order: cheapest predicted Joules per request at full
-        // utilization first — static share (interface `p_active_w` over
-        // the class's capacity) plus the full-batch marginal (interface
-        // `e_marginal` at the table floor). Ties break on index.
-        let score = |i: &usize| {
-            let c = assignment[*i];
-            let cap = classes[c].capacity_rps_mix(0.25).max(1e-9);
-            let static_share = p_active[c] / cap;
-            let marg = marginal[c][MARGINAL_TABLE_DEPTH - 1][0];
-            static_share + marg
-        };
-        let mut order: Vec<usize> = (0..assignment.len()).collect();
-        order.sort_by(|a, b| score(a).total_cmp(&score(b)).then(a.cmp(b)));
-
+        let interfaces: Vec<Interface> = classes.iter().map(|c| c.interface()).collect();
+        let (marginal, p_active) = evaluate_tables(&interfaces, cache);
+        let order = activation_order_for(&classes, &assignment, &marginal, &p_active);
         EnergyLb {
             classes,
             assignment,
@@ -222,7 +245,42 @@ impl EnergyLb {
             order,
             slo_ns,
             target: initial_active.max(1),
+            swaps: 0,
         }
+    }
+
+    /// Atomically replaces the routing tables with ones evaluated from
+    /// `interfaces` (one per node class, same order as construction) —
+    /// the hot-swap seam for a live recalibration. The rebuild happens
+    /// entirely between requests: every already-routed request keeps
+    /// the node it was assigned under the old tables, and the next
+    /// `route` call simply reads the new ones, so a swap can never drop
+    /// or reroute in-flight work. The activation-order preference is
+    /// re-scored too; note the simulator snapshots activation order
+    /// once per run, so mid-run swaps steer `route`/`target_active`
+    /// only — exactly the atomic-between-requests contract.
+    pub fn swap_interfaces(&mut self, interfaces: &[Interface], cache: &EvalCache) {
+        assert_eq!(
+            interfaces.len(),
+            self.classes.len(),
+            "one interface per node class"
+        );
+        let (marginal, p_active) = evaluate_tables(interfaces, cache);
+        self.marginal = marginal;
+        self.p_active = p_active;
+        self.order = activation_order_for(
+            &self.classes,
+            &self.assignment,
+            &self.marginal,
+            &self.p_active,
+        );
+        self.swaps += 1;
+        telemetry::counter_add("sched.energy_lb.swaps", 1);
+    }
+
+    /// Interface swaps performed on this policy.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
     }
 
     fn marginal_j(&self, class_idx: usize, queue_len: usize, req_class: usize) -> f64 {
@@ -281,6 +339,82 @@ impl LbPolicy for EnergyLb {
 
     fn activation_order(&self) -> &[usize] {
         &self.order
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled hot-swap wrapper
+// ---------------------------------------------------------------------------
+
+/// An [`EnergyLb`] that hot-swaps a staged set of recalibrated
+/// interfaces at a scheduled autoscale tick — the DES-side harness for
+/// E11's atomicity claim.
+///
+/// The simulator calls [`LbPolicy::target_active`] exactly once per
+/// autoscale tick, strictly between request events on the logical
+/// clock; the wrapper counts ticks and performs the table rebuild there.
+/// Requests in queues and in-flight batches are untouched (the policy
+/// never owns them), so the run's conservation invariant — arrivals ==
+/// completed + shed + unserved — holds across the swap by construction,
+/// and a replay performs the identical swap at the identical tick.
+pub struct DriftSwapLb {
+    inner: EnergyLb,
+    cache: EvalCache,
+    swap_at_tick: u64,
+    ticks: u64,
+    staged: Option<Vec<Interface>>,
+}
+
+impl DriftSwapLb {
+    /// Wraps `inner`, staging `recalibrated` (one interface per node
+    /// class) to go live at autoscale tick `swap_at_tick` (1-based).
+    pub fn new(inner: EnergyLb, recalibrated: Vec<Interface>, swap_at_tick: u64) -> Self {
+        DriftSwapLb {
+            inner,
+            cache: EvalCache::new(),
+            swap_at_tick: swap_at_tick.max(1),
+            ticks: 0,
+            staged: Some(recalibrated),
+        }
+    }
+
+    /// Whether the staged swap has happened yet.
+    pub fn swapped(&self) -> bool {
+        self.staged.is_none()
+    }
+
+    /// Autoscale ticks observed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The wrapped policy (swap count, activation scores).
+    pub fn inner(&self) -> &EnergyLb {
+        &self.inner
+    }
+}
+
+impl LbPolicy for DriftSwapLb {
+    fn name(&self) -> &'static str {
+        "energy_interface_hotswap"
+    }
+
+    fn route(&mut self, class: usize, views: &[NodeView]) -> Option<usize> {
+        self.inner.route(class, views)
+    }
+
+    fn target_active(&mut self, rate_rps: f64, p_large: f64, n_nodes: usize) -> usize {
+        self.ticks += 1;
+        if self.ticks >= self.swap_at_tick {
+            if let Some(interfaces) = self.staged.take() {
+                self.inner.swap_interfaces(&interfaces, &self.cache);
+            }
+        }
+        self.inner.target_active(rate_rps, p_large, n_nodes)
+    }
+
+    fn activation_order(&self) -> &[usize] {
+        self.inner.activation_order()
     }
 }
 
@@ -380,6 +514,66 @@ mod tests {
         let low = lb.target_active(10.0, 0.25, 8);
         assert!(low < high, "idle cluster must contract");
         assert!(low >= 1);
+    }
+
+    #[test]
+    fn swap_interfaces_flips_routing_preference() {
+        let (classes, assignment) = two_class_setup();
+        let cache = EvalCache::new();
+        let mut lb = EnergyLb::new(classes.clone(), assignment.clone(), 4, 250_000_000, &cache);
+        let views: Vec<NodeView> = (0..8)
+            .map(|i| NodeView {
+                node: i,
+                class_idx: assignment[i],
+                queue_len: 0,
+                wait_ns: 10_000_000,
+            })
+            .collect();
+        assert_eq!(lb.route(0, &views).unwrap() % 2, 1, "eff wins pre-swap");
+
+        // Recalibration discovers the eff class drifted badly: its
+        // per-event energies are now 10x. Routing must flip to perf.
+        let mut drifted_eff = classes[1].clone();
+        drifted_eff.e_fixed_j *= 10.0;
+        drifted_eff.e_req_j = [drifted_eff.e_req_j[0] * 10.0, drifted_eff.e_req_j[1] * 10.0];
+        drifted_eff.p_active_w *= 10.0;
+        let swapped = vec![classes[0].interface(), drifted_eff.interface()];
+        lb.swap_interfaces(&swapped, &cache);
+        assert_eq!(lb.swaps(), 1);
+        assert_eq!(lb.route(0, &views).unwrap() % 2, 0, "perf wins post-swap");
+        assert!(
+            lb.activation_order()[..4].iter().all(|i| i % 2 == 0),
+            "activation preference re-scored"
+        );
+
+        // Swapping the nominal interfaces back restores bit-identical
+        // routing tables (same content -> same cache keys -> same f64s).
+        let nominal: Vec<Interface> = classes.iter().map(|c| c.interface()).collect();
+        lb.swap_interfaces(&nominal, &cache);
+        let fresh = EnergyLb::new(classes, assignment, 4, 250_000_000, &cache);
+        assert_eq!(lb.p_active, fresh.p_active);
+        assert_eq!(lb.marginal, fresh.marginal);
+    }
+
+    #[test]
+    fn drift_swap_wrapper_swaps_exactly_once_at_its_tick() {
+        let (classes, assignment) = two_class_setup();
+        let cache = EvalCache::new();
+        let inner = EnergyLb::new(classes.clone(), assignment, 4, 250_000_000, &cache);
+        let mut drifted_eff = classes[1].clone();
+        drifted_eff.e_req_j = [1.0, 2.0];
+        let staged = vec![classes[0].interface(), drifted_eff.interface()];
+        let mut lb = DriftSwapLb::new(inner, staged, 3);
+        assert!(!lb.swapped());
+        lb.target_active(100.0, 0.25, 8);
+        lb.target_active(100.0, 0.25, 8);
+        assert!(!lb.swapped(), "before the scheduled tick nothing moves");
+        lb.target_active(100.0, 0.25, 8);
+        assert!(lb.swapped());
+        assert_eq!(lb.inner().swaps(), 1);
+        lb.target_active(100.0, 0.25, 8);
+        assert_eq!(lb.inner().swaps(), 1, "the staged swap fires once");
+        assert_eq!(lb.ticks(), 4);
     }
 
     #[test]

@@ -242,6 +242,16 @@ impl ServiceFrontend {
         &self.plan
     }
 
+    /// The configuration this frontend was brought up with.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// The current logical service time (advanced by request arrivals).
+    pub fn now(&self) -> TimeSpan {
+        self.now
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> FrontendStats {
         self.stats
@@ -453,6 +463,19 @@ fn apply_fault(replica: &mut Replica, st: &FaultState) {
     } else {
         replica.cache.nic_mut().clear_fault();
     }
+    if st.gpu_energy_scale != 1.0 || st.gpu_static_w != 0.0 {
+        replica
+            .cnn
+            .gpu_mut()
+            .set_drift(st.gpu_energy_scale, st.gpu_static_w);
+    } else {
+        replica.cnn.gpu_mut().clear_drift();
+    }
+    if st.nic_energy_scale != 1.0 {
+        replica.cache.nic_mut().set_drift(st.nic_energy_scale);
+    } else {
+        replica.cache.nic_mut().clear_drift();
+    }
     replica.cache.set_remote_alive(st.remote_alive);
     replica.meter.set_dropout(st.meter_dropout);
 }
@@ -465,6 +488,22 @@ pub fn calibrate_with_fault(gpu: &GpuConfig, derate: f64, sm_loss: f64) -> Optio
     let mut probe = CnnModel::new(GpuSim::new(gpu.clone()))?;
     if derate < 1.0 || sm_loss > 0.0 {
         probe.gpu_mut().set_fault(derate, sm_loss);
+    }
+    Some(probe.calibrate())
+}
+
+/// Calibrates the CNN leaves on a fresh probe device resolved to a full
+/// [`FaultState`] — fault *and* drift — the way an online refit campaign
+/// runs its microbenchmarks against whatever the device has become.
+pub fn calibrate_with_state(gpu: &GpuConfig, st: &FaultState) -> Option<CnnCalibration> {
+    let mut probe = CnnModel::new(GpuSim::new(gpu.clone()))?;
+    if st.gpu_browned() {
+        probe.gpu_mut().set_fault(st.gpu_derate, st.gpu_sm_loss);
+    }
+    if st.gpu_energy_scale != 1.0 || st.gpu_static_w != 0.0 {
+        probe
+            .gpu_mut()
+            .set_drift(st.gpu_energy_scale, st.gpu_static_w);
     }
     Some(probe.calibrate())
 }

@@ -10,13 +10,18 @@
 pub mod cache;
 pub mod cnn;
 pub mod frontend;
+pub mod recal;
 pub mod service;
 
 pub use cache::{CacheEnergy, CacheOutcome, RequestCache};
 pub use cnn::{CnnCalibration, CnnModel};
 pub use frontend::{
-    calibrate_with_fault, fig1_faulted_calibration, fig1_interface_faulted, FaultMixture,
-    FinalPath, FrontendConfig, FrontendStats, ServiceFrontend,
+    calibrate_with_fault, calibrate_with_state, fig1_faulted_calibration, fig1_interface_faulted,
+    FaultMixture, FinalPath, FrontendConfig, FrontendStats, ServiceFrontend,
+};
+pub use recal::{
+    pilot_mixture, DetectorConfig, RecalConfig, RecalFrontend, RecalStats, ResidualDetector,
+    SampleRow,
 };
 pub use service::{
     fig1_calibration, fig1_interface, request_stream, MlWebService, Request, MAX_RESPONSE_LEN,

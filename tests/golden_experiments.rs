@@ -1,7 +1,8 @@
 //! Golden-corpus regression over the paper's headline numbers.
 //!
 //! Every report the `--json` binaries emit (Table 1, experiments E1–E7,
-//! the E9 fault matrix, and the Fig. 2 full-stack rows) is frozen
+//! the E9 fault matrix, the E10/E11 smoke shapes, and the Fig. 2
+//! full-stack rows) is frozen
 //! as JSON under `tests/golden/`. The tests re-run each experiment and
 //! diff the serialized tree against the golden file, comparing numbers
 //! with a relative tolerance so libm differences across platforms don't
@@ -183,6 +184,17 @@ fn e10_cluster_smoke_matches_golden() {
     );
 }
 
+/// E11 at the CI smoke shape (1200 requests per scenario). The full
+/// shape is locked by the `drift_recal` binary's own acceptance
+/// assertions and archived as `BENCH_drift.json` in CI.
+#[test]
+fn e11_drift_smoke_matches_golden() {
+    check_golden(
+        "e11_drift.json",
+        &ei_bench::drift::run_with(&ei_bench::drift::E11Config::smoke()).to_value(),
+    );
+}
+
 /// The golden corpus itself must be well-formed JSON that round-trips
 /// through the serializer (guards against hand-edited corruption).
 #[test]
@@ -211,7 +223,7 @@ fn golden_corpus_is_well_formed() {
         count += 1;
     }
     assert!(
-        count >= 9,
-        "expected at least 9 golden files, found {count}"
+        count >= 10,
+        "expected at least 10 golden files, found {count}"
     );
 }

@@ -94,6 +94,17 @@ fn table1_unperturbed_by_telemetry() {
     assert_unperturbed("table1", ei_bench::table1::run);
 }
 
+/// E11 writes counters from inside the recalibration loop itself
+/// (`service.recal.*`, `sched.energy_lb.swaps`), so it is the most
+/// likely place for an observer effect to creep in: detection, refits,
+/// swaps, and rollbacks must all land identically with the sink off.
+#[test]
+fn e11_drift_smoke_unperturbed_by_telemetry() {
+    assert_unperturbed("e11_drift", || {
+        ei_bench::drift::run_with(&ei_bench::drift::E11Config::smoke())
+    });
+}
+
 /// The Monte-Carlo engine is the one place work is farmed out to
 /// threads, so it is where a naive trace would diverge: both the sample
 /// vector *and the trace* must be identical at 1 and 8 threads.
