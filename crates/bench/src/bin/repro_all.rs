@@ -143,6 +143,14 @@ fn main() {
         ei_bench::drift::render(&e11),
     );
 
+    let e12 = ei_bench::llm_pareto::run_with(&ei_bench::llm_pareto::E12Config::smoke());
+    summary.run(
+        "E12 LLM Pareto",
+        "e12_llm.json",
+        &e12,
+        ei_bench::llm_pareto::render(&e12),
+    );
+
     let ablation = ei_bench::ablation::run();
     summary.run_unlocked("Cache ablation", ei_bench::ablation::render(&ablation));
 

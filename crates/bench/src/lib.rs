@@ -12,4 +12,5 @@ pub mod experiments;
 pub mod fig1;
 pub mod fig2;
 pub mod golden;
+pub mod llm_pareto;
 pub mod table1;

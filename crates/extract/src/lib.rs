@@ -21,5 +21,5 @@ pub mod trace;
 pub use bugs::{detect_energy_bugs, BugReport, DetectorConfig, EnergyBug};
 pub use error::{Error, Result};
 pub use fit::{least_squares, LinearFit};
-pub use microbench::{fit_gpu_model, GpuEnergyModel};
+pub use microbench::{fit_dvfs_scale, fit_gpu_model, DvfsScale, GpuEnergyModel};
 pub use trace::{derive_interface, DeriveReport, Tracer};

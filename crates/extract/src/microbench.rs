@@ -102,6 +102,151 @@ impl GpuEnergyModel {
     }
 }
 
+/// The fitted DVFS dynamic-energy scale `s(f) = c0 + c1·f + c2·f²`.
+///
+/// Dynamic energy on a voltage-scaled part goes as `V²`, and `V` tracks the
+/// clock roughly linearly over the usable DVFS range, so the scale measured
+/// against the nominal clock is quadratic in the clock fraction `f`. The
+/// campaign probes a compute-heavy kernel at several supported clock steps,
+/// strips the (already-fitted) static contribution, and least-squares fits
+/// the `[1, f, f²]` basis on the per-instruction dynamic-energy ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsScale {
+    /// Device name the scale was fitted for.
+    pub device: String,
+    /// Polynomial coefficients `[c0, c1, c2]` of the scale in the clock
+    /// fraction.
+    pub coefficients: [f64; 3],
+    /// R² of the fit.
+    pub r_squared: f64,
+}
+
+impl DvfsScale {
+    /// The fitted dynamic-energy scale at clock fraction `f`.
+    pub fn at(&self, f: f64) -> f64 {
+        self.coefficients[0] + self.coefficients[1] * f + self.coefficients[2] * f * f
+    }
+}
+
+impl GpuEnergyModel {
+    /// Emits the fitted DVFS-aware hardware interface: the `gpu_kernel_f` /
+    /// `gpu_time_f` extern pair the batch-serving interface links against,
+    /// with the fitted per-event coefficients and the fitted clock scale.
+    pub fn to_interface_dvfs(&self, scale: &DvfsScale, truth_timing: &GpuConfig) -> Interface {
+        let src = format!(
+            r#"
+            interface gpu_{name}_dvfs_fitted "microbenchmark-fitted DVFS energy interface for {name}" {{
+                unit sec;
+                fn gpu_kernel_f(flops, logical_bytes, l2_sectors, vram_sectors, freq) {{
+                    let instructions = flops / 2 + logical_bytes / 128;
+                    let l1_wavefronts = logical_bytes / 128;
+                    let compute_s = flops / ({eff_flops} * freq);
+                    let mem_s = vram_sectors * 32 / {bw};
+                    let duration = max(max(compute_s, mem_s), 0.000002);
+                    let vscale = {s0} + {s1} * freq + {s2} * freq * freq;
+                    return ({e_instr} J * instructions
+                         + {e_l1} J * l1_wavefronts
+                         + {e_l2} J * l2_sectors
+                         + {e_vram} J * vram_sectors) * vscale
+                         + {static_w} J * duration;
+                }}
+                fn gpu_time_f(flops, vram_sectors, freq) {{
+                    let compute_s = flops / ({eff_flops} * freq);
+                    let mem_s = vram_sectors * 32 / {bw};
+                    return 1 sec * max(max(compute_s, mem_s), 0.000002);
+                }}
+                fn gpu_idle(seconds) {{
+                    return {static_w} J * seconds;
+                }}
+            }}
+            "#,
+            name = self.device,
+            eff_flops = truth_timing.peak_flops * truth_timing.efficiency,
+            bw = truth_timing.vram_bandwidth,
+            e_instr = self.e_instruction.as_joules(),
+            e_l1 = self.e_l1_wavefront.as_joules(),
+            e_l2 = self.e_l2_sector.as_joules(),
+            e_vram = self.e_vram_sector.as_joules(),
+            s0 = scale.coefficients[0],
+            s1 = scale.coefficients[1],
+            s2 = scale.coefficients[2],
+            static_w = self.static_power.as_watts(),
+        );
+        parse(&src).expect("fitted DVFS interface must parse")
+    }
+}
+
+/// Probes the DVFS dynamic-energy scale of a device.
+///
+/// Sets the graphics clock to several supported steps, runs the same
+/// compute-heavy kernel batch at each, and fits `s(f)` on the static-
+/// corrected per-instruction energies relative to the nominal clock.
+/// `model` supplies the static power used for the correction (fit it first
+/// with [`fit_gpu_model`]).
+pub fn fit_dvfs_scale(
+    config: &GpuConfig,
+    model: &GpuEnergyModel,
+    meter_config: MeterConfig,
+) -> Result<DvfsScale> {
+    let _sp = ei_telemetry::span(ei_telemetry::SpanKind::Fit, &config.name);
+    ei_telemetry::counter_add("extract.dvfs_campaigns", 1);
+    let mut sim = GpuSim::new(config.clone());
+    let min_span = meter_config.update_period.as_seconds() * 4.0;
+    let meter = PowerMeter::new(meter_config);
+    let buf = sim.alloc(1 << 20).ok_or_else(|| Error::Microbench {
+        msg: "VRAM exhausted allocating DVFS probe buffer".into(),
+    })?;
+    let static_w = model.static_power.as_watts();
+
+    // Probe descending from nominal so the f = 1.0 reference comes first.
+    let mut points = Vec::new();
+    for frac in [1.0, 0.85, 0.7, 0.55, 0.4, 0.25] {
+        let target = (config.max_clock_mhz as f64 * frac).round() as u32;
+        sim.set_clock_mhz(target);
+        let f = sim.clock_frac();
+        let c0 = sim.counters();
+        let e0 = meter.read(sim.energy(), c0.elapsed);
+        loop {
+            sim.launch(&KernelDesc::new("dvfs_probe", 20e9, 1e4).access(
+                buf,
+                0,
+                4096,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            ));
+            let span = sim.counters().elapsed.as_seconds() - c0.elapsed.as_seconds();
+            if span >= min_span || span >= 1.0 {
+                break;
+            }
+        }
+        let c1 = sim.counters();
+        let e1 = meter.read(sim.energy(), c1.elapsed);
+        let elapsed = (c1.elapsed_ns - c0.elapsed_ns) as f64 / 1e9;
+        let dynamic = (e1 - e0).as_joules() - static_w * elapsed;
+        points.push((f, dynamic / (c1.instructions - c0.instructions)));
+    }
+    sim.set_clock_mhz(config.max_clock_mhz);
+
+    let reference = points[0].1;
+    if !reference.is_finite() || reference <= 0.0 {
+        return Err(Error::Microbench {
+            msg: "DVFS probe measured no dynamic energy at the nominal clock".into(),
+        });
+    }
+    let rows: Vec<Vec<f64>> = points.iter().map(|(f, _)| vec![1.0, *f, *f * *f]).collect();
+    let ys: Vec<f64> = points.iter().map(|(_, e)| e / reference).collect();
+    let fit = least_squares(&rows, &ys)?;
+    Ok(DvfsScale {
+        device: config.name.clone(),
+        coefficients: [
+            fit.coefficients[0],
+            fit.coefficients[1],
+            fit.coefficients[2],
+        ],
+        r_squared: fit.r_squared,
+    })
+}
+
 /// One microbenchmark observation: counter deltas and measured energy.
 #[derive(Debug, Clone)]
 pub struct Observation {
@@ -356,6 +501,68 @@ mod tests {
             "fitted prediction off by {}",
             report.max_rel_error
         );
+    }
+
+    #[test]
+    fn dvfs_scale_recovers_the_voltage_quadratic() {
+        let cfg = rtx4090();
+        let (model, _) = fit_gpu_model(&cfg, MeterConfig::ideal()).unwrap();
+        let scale = fit_dvfs_scale(&cfg, &model, MeterConfig::ideal()).unwrap();
+        assert!(scale.r_squared > 0.999);
+        // Ground truth: (v0 + (1-v0)·f)² with the config's dvfs_v0.
+        for f in [0.3, 0.5, 0.75, 1.0] {
+            let v = cfg.dvfs_v0 + (1.0 - cfg.dvfs_v0) * f;
+            let truth = v * v;
+            let err = (scale.at(f) - truth).abs() / truth;
+            assert!(err < 0.05, "scale({f}) err {err}");
+        }
+    }
+
+    #[test]
+    fn fitted_dvfs_interface_tracks_simulator_across_clock_steps() {
+        use ei_core::ecv::EcvEnv;
+        use ei_core::interp::{evaluate_energy, EvalConfig};
+        use ei_core::value::Value;
+
+        let cfg = rtx4090();
+        let (model, _) = fit_gpu_model(&cfg, MeterConfig::ideal()).unwrap();
+        let scale = fit_dvfs_scale(&cfg, &model, MeterConfig::ideal()).unwrap();
+        let iface = model.to_interface_dvfs(&scale, &cfg);
+        assert!(iface.is_closed());
+
+        for mhz in [630u32, 1260, 1890, 2520] {
+            let mut sim = GpuSim::new(cfg.clone());
+            let granted = sim.set_clock_mhz(mhz);
+            assert_eq!(granted, mhz);
+            let buf = sim.alloc(256 << 20).unwrap();
+            let k = KernelDesc::new("probe", 4e9, 128.0 * 1024.0 * 1024.0).access(
+                buf,
+                0,
+                128 << 20,
+                AccessKind::Read,
+                ReuseHint::Streaming,
+            );
+            let truth = sim.launch(&k).energy.as_joules();
+            let c = sim.counters();
+            let pred = evaluate_energy(
+                &iface,
+                "gpu_kernel_f",
+                &[
+                    Value::Num(4e9),
+                    Value::Num(128.0 * 1024.0 * 1024.0),
+                    Value::Num((c.l2_sectors_read + c.l2_sectors_written) as f64),
+                    Value::Num((c.vram_sectors_read + c.vram_sectors_written) as f64),
+                    Value::Num(sim.clock_frac()),
+                ],
+                &EcvEnv::new(),
+                0,
+                &EvalConfig::default(),
+            )
+            .unwrap()
+            .as_joules();
+            let rel = (pred - truth).abs() / truth;
+            assert!(rel < 0.05, "{mhz} MHz: fitted prediction off by {rel}");
+        }
     }
 
     #[test]

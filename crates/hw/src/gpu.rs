@@ -56,6 +56,20 @@ pub struct GpuConfig {
     pub boost_droop: f64,
     /// Busy time after which the droop is fully developed.
     pub droop_warmup: TimeSpan,
+    /// Top supported graphics clock, MHz. [`GpuSim`] runs here by default;
+    /// all timing/energy constants above are calibrated at this clock.
+    pub max_clock_mhz: u32,
+    /// Lowest supported graphics clock, MHz.
+    pub min_clock_mhz: u32,
+    /// Granularity of the supported-clock ladder, MHz. Real parts expose
+    /// discrete steps through NVML (`nvmlDeviceGetSupportedGraphicsClocks`);
+    /// arbitrary frequencies are snapped to this ladder.
+    pub clock_step_mhz: u32,
+    /// Fraction of nominal core voltage still required at (extrapolated)
+    /// zero clock — the intercept of the near-linear V(f) curve. Dynamic
+    /// switching energy scales with V², so per-event energies at clock
+    /// fraction `f` scale by `(v0 + (1 - v0)·f)²`.
+    pub dvfs_v0: f64,
 }
 
 /// Segment granularity of the simulated caches.
@@ -85,6 +99,10 @@ pub fn rtx4090() -> GpuConfig {
         e_vram_sector: Energy::picojoules(620.0),
         boost_droop: 0.030,
         droop_warmup: TimeSpan::seconds(0.10),
+        max_clock_mhz: 2520,
+        min_clock_mhz: 210,
+        clock_step_mhz: 15,
+        dvfs_v0: 0.42,
     }
 }
 
@@ -106,6 +124,10 @@ pub fn rtx3070() -> GpuConfig {
         e_vram_sector: Energy::picojoules(810.0),
         boost_droop: 0.19,
         droop_warmup: TimeSpan::seconds(0.10),
+        max_clock_mhz: 1725,
+        min_clock_mhz: 210,
+        clock_step_mhz: 15,
+        dvfs_v0: 0.48,
     }
 }
 
@@ -186,6 +208,11 @@ pub struct GpuCounters {
     pub vram_sectors_written: u64,
     /// Busy time accumulated.
     pub elapsed: TimeSpan,
+    /// Busy time accumulated as integer nanoseconds. Unlike `elapsed`
+    /// (an f64 running sum whose value depends on accumulation order and
+    /// prefix), deltas of this counter are exact, so replaying a slice of
+    /// work from any starting state yields bit-identical durations.
+    pub elapsed_ns: u64,
     /// Kernel launches.
     pub launches: u64,
 }
@@ -199,6 +226,14 @@ pub struct GpuSim {
     energy: Energy,
     next_buffer: u32,
     allocated: u64,
+    /// Size of each allocated buffer, indexed by `BufferId`; backs the
+    /// debug bounds assert on kernel accesses.
+    buffer_sizes: Vec<u64>,
+    /// Current graphics clock as a fraction of `config.max_clock_mhz`;
+    /// exactly 1.0 at the nominal (default) clock.
+    clock_frac: f64,
+    /// Current graphics clock, MHz (snapped to the supported ladder).
+    clock_mhz: u32,
     /// Thermal state in [0, 1]: rises with busy time, decays over idle.
     warmth: f64,
     /// Injected clock derate (brownout); 1.0 is healthy.
@@ -229,6 +264,7 @@ impl GpuSim {
     /// Creates a device from a configuration.
     pub fn new(config: GpuConfig) -> Self {
         let l2 = SegmentCache::new("L2", config.l2_bytes, SEGMENT_BYTES, SECTOR_BYTES);
+        let clock_mhz = config.max_clock_mhz;
         GpuSim {
             config,
             l2,
@@ -236,6 +272,9 @@ impl GpuSim {
             energy: Energy::ZERO,
             next_buffer: 0,
             allocated: 0,
+            buffer_sizes: Vec::new(),
+            clock_frac: 1.0,
+            clock_mhz,
             warmth: 0.0,
             fault_derate: 1.0,
             fault_sm_loss: 0.0,
@@ -297,6 +336,67 @@ impl GpuSim {
         &self.config
     }
 
+    /// The supported graphics-clock ladder, MHz, lowest first — the
+    /// NVML-style discrete steps a DVFS governor may request.
+    pub fn supported_clocks_mhz(&self) -> Vec<u32> {
+        let (lo, hi, step) = (
+            self.config.min_clock_mhz,
+            self.config.max_clock_mhz,
+            self.config.clock_step_mhz.max(1),
+        );
+        let mut clocks: Vec<u32> = (lo..hi).step_by(step as usize).collect();
+        clocks.push(hi);
+        clocks
+    }
+
+    /// Requests a graphics clock; the request is snapped to the nearest
+    /// supported step (ties round up, like `nvmlDeviceSetGpcClkVfOffset`
+    /// governors) and the granted clock is returned. At the granted clock
+    /// `f = granted / max_clock`: compute throughput scales by `f`
+    /// (memory bandwidth sits in a separate clock domain and is
+    /// unaffected), and per-event dynamic energy scales by
+    /// `(v0 + (1-v0)·f)²` following the near-linear V(f) curve. Granting
+    /// the top clock restores bit-identical nominal behaviour.
+    pub fn set_clock_mhz(&mut self, mhz: u32) -> u32 {
+        let (lo, hi, step) = (
+            self.config.min_clock_mhz,
+            self.config.max_clock_mhz,
+            self.config.clock_step_mhz.max(1) as u64,
+        );
+        let clamped = mhz.clamp(lo, hi) as u64;
+        let snapped = ((lo as u64 + (clamped - lo as u64 + step / 2) / step * step) as u32).min(hi);
+        self.clock_mhz = snapped;
+        self.clock_frac = if snapped == hi {
+            // Exactly 1.0 so the default clock stays bit-identical to a
+            // simulator that never heard of DVFS.
+            1.0
+        } else {
+            snapped as f64 / hi as f64
+        };
+        snapped
+    }
+
+    /// The granted graphics clock, MHz.
+    pub fn clock_mhz(&self) -> u32 {
+        self.clock_mhz
+    }
+
+    /// The granted clock as a fraction of the top clock (1.0 nominal).
+    pub fn clock_frac(&self) -> f64 {
+        self.clock_frac
+    }
+
+    /// The dynamic-energy multiplier at the current clock: `(v0+(1-v0)f)²`,
+    /// exactly 1.0 at the top clock.
+    pub fn dvfs_energy_scale(&self) -> f64 {
+        if self.clock_frac == 1.0 {
+            1.0
+        } else {
+            let v = self.config.dvfs_v0 + (1.0 - self.config.dvfs_v0) * self.clock_frac;
+            v * v
+        }
+    }
+
     /// Allocates a device buffer; errors (None) when VRAM is exhausted.
     pub fn alloc(&mut self, bytes: u64) -> Option<BufferId> {
         if self.allocated + bytes > self.config.vram_bytes {
@@ -305,6 +405,7 @@ impl GpuSim {
         self.allocated += bytes;
         let id = BufferId(self.next_buffer);
         self.next_buffer += 1;
+        self.buffer_sizes.push(bytes);
         ei_telemetry::observe_ticks("hw.gpu.alloc_bytes", &ei_telemetry::BYTES, bytes);
         Some(id)
     }
@@ -333,6 +434,7 @@ impl GpuSim {
     /// Lets idle time pass (consumes static power only; the part cools).
     pub fn idle(&mut self, t: TimeSpan) {
         self.counters.elapsed += t;
+        self.counters.elapsed_ns += (t.as_seconds() * 1e9).round() as u64;
         self.energy += self.static_power().over(t);
         let warmup = self.config.droop_warmup.as_seconds().max(1e-9);
         self.warmth = (self.warmth - t.as_seconds() / (4.0 * warmup)).max(0.0);
@@ -358,6 +460,8 @@ impl GpuSim {
         self.warmth = 0.0;
         self.clear_fault();
         self.clear_drift();
+        self.clock_mhz = self.config.max_clock_mhz;
+        self.clock_frac = 1.0;
     }
 
     /// Executes one kernel and returns its energy/time report.
@@ -367,6 +471,21 @@ impl GpuSim {
         let mut vram_written = 0u64;
 
         for a in &kernel.accesses {
+            debug_assert!(
+                (a.buffer.0 as usize) < self.buffer_sizes.len()
+                    && a.offset
+                        .checked_add(a.len)
+                        .is_some_and(|end| end <= self.buffer_sizes[a.buffer.0 as usize]),
+                "kernel `{}` accesses [{}, {}) past buffer {:?} of {} bytes",
+                kernel.name,
+                a.offset,
+                a.offset.saturating_add(a.len),
+                a.buffer,
+                self.buffer_sizes
+                    .get(a.buffer.0 as usize)
+                    .copied()
+                    .unwrap_or(0),
+            );
             let r = self.l2.access(a.buffer, a.offset, a.len, a.kind, a.hint);
             let total = r.hit_sectors + r.miss_sectors;
             match a.kind {
@@ -399,8 +518,14 @@ impl GpuSim {
         // compute (not memory) side.
         let derate = (1.0 - self.config.boost_droop * self.warmth) * self.fault_derate;
         let sm_avail = 1.0 - self.fault_sm_loss;
-        let compute_time =
-            kernel.flops / (self.config.peak_flops * self.config.efficiency * derate * sm_avail);
+        // The graphics clock scales compute throughput; VRAM sits in its
+        // own clock domain and is unaffected by the DVFS setting.
+        let compute_time = kernel.flops
+            / (self.config.peak_flops
+                * self.config.efficiency
+                * derate
+                * sm_avail
+                * self.clock_frac);
         let mem_time = (vram_read + vram_written) as f64 * SECTOR_BYTES as f64
             / (self.config.vram_bandwidth * derate);
         let duration = TimeSpan::seconds(compute_time.max(mem_time).max(2e-6));
@@ -409,7 +534,7 @@ impl GpuSim {
             + self.config.e_l1_wavefront * l1_wavefronts
             + self.config.e_l2_sector * l2_sectors as f64
             + self.config.e_vram_sector * (vram_read + vram_written) as f64)
-            * self.drift_energy_scale;
+            * (self.drift_energy_scale * self.dvfs_energy_scale());
         let energy = dynamic + self.static_power().over(duration);
 
         self.counters.instructions += instructions;
@@ -417,6 +542,7 @@ impl GpuSim {
         self.counters.vram_sectors_read += vram_read;
         self.counters.vram_sectors_written += vram_written;
         self.counters.elapsed += duration;
+        self.counters.elapsed_ns += (duration.as_seconds() * 1e9).round() as u64;
         self.counters.launches += 1;
         self.energy += energy;
         let warmup = self.config.droop_warmup.as_seconds().max(1e-9);
@@ -703,6 +829,137 @@ mod tests {
         g.set_drift(2.0, 5.0);
         g.reset();
         assert_eq!(g.active_drift(), (1.0, 0.0));
+    }
+
+    #[test]
+    fn supported_clock_ladder_and_snapping() {
+        let g = sim();
+        let clocks = g.supported_clocks_mhz();
+        assert_eq!(*clocks.first().unwrap(), 210);
+        assert_eq!(*clocks.last().unwrap(), 2520);
+        assert!(clocks.windows(2).all(|w| w[1] > w[0]));
+        let mut g = sim();
+        // Snaps to the ladder (ties round up), clamps to the range.
+        assert_eq!(g.set_clock_mhz(1007), 1005);
+        assert_eq!(g.set_clock_mhz(1013), 1020);
+        assert_eq!(g.clock_mhz(), 1020);
+        assert_eq!(g.set_clock_mhz(0), 210);
+        assert_eq!(g.set_clock_mhz(9999), 2520);
+        assert_eq!(g.clock_frac(), 1.0);
+    }
+
+    #[test]
+    fn top_clock_is_bit_identical_to_default() {
+        let k = KernelDesc::new("gemm", 1e9, 1e6);
+        let mut a = sim();
+        let mut b = sim();
+        b.set_clock_mhz(1005);
+        b.set_clock_mhz(2520);
+        let ra = a.launch(&k);
+        let rb = b.launch(&k);
+        assert_eq!(ra.energy, rb.energy);
+        assert_eq!(ra.duration, rb.duration);
+        assert_eq!(b.dvfs_energy_scale(), 1.0);
+    }
+
+    #[test]
+    fn downclock_stretches_compute_and_cuts_dynamic_energy() {
+        // Compute-bound kernel far above the duration floor.
+        let k = KernelDesc::new("gemm", 1e12, 1e6);
+        let mut nominal = sim();
+        let mut slow = sim();
+        let granted = slow.set_clock_mhz(1260);
+        assert_eq!(granted, 1260);
+        let rn = nominal.launch(&k);
+        let rs = slow.launch(&k);
+        let t_ratio = rs.duration.as_seconds() / rn.duration.as_seconds();
+        assert!(
+            t_ratio > 1.9 && t_ratio < 2.1,
+            "half clock ≈ 2x time: {t_ratio}"
+        );
+        // Dynamic energy per event drops by (v0 + (1-v0)f)^2 < 1; this
+        // kernel is dynamic-dominated, so even with the extra static time
+        // the energy must drop.
+        assert!(rs.energy < rn.energy, "{:?} vs {:?}", rs.energy, rn.energy);
+        // But at the floor clock a long kernel pays so much static time
+        // that energy rises again — the DVFS sweet spot is interior.
+        let mut floor = sim();
+        floor.set_clock_mhz(210);
+        let rf = floor.launch(&k);
+        assert!(rf.energy > rs.energy);
+    }
+
+    #[test]
+    fn memory_bound_kernels_ignore_the_core_clock() {
+        let mut a = sim();
+        let mut b = sim();
+        b.set_clock_mhz(1260);
+        let mk = |g: &mut GpuSim| {
+            let buf = g.alloc(256 << 20).unwrap();
+            let k = KernelDesc::new("copy", 1e3, 256.0 * 1024.0 * 1024.0).access(
+                buf,
+                0,
+                256 << 20,
+                AccessKind::Read,
+                ReuseHint::Streaming,
+            );
+            g.launch(&k)
+        };
+        let ra = mk(&mut a);
+        let rb = mk(&mut b);
+        assert_eq!(ra.duration, rb.duration, "VRAM clock domain is separate");
+    }
+
+    #[test]
+    fn elapsed_ns_deltas_are_prefix_independent() {
+        // Run kernels A, B on one device; replay only B on a fresh device
+        // after different warm-up idling. The *integer* deltas agree even
+        // though the f64 running sums do not have to.
+        let ka = KernelDesc::new("a", 3e8, 1e6);
+        let kb = KernelDesc::new("b", 7e8, 2e6);
+        let mut full = sim();
+        full.launch(&ka);
+        let before = full.counters().elapsed_ns;
+        full.launch(&kb);
+        let delta_full = full.counters().elapsed_ns - before;
+
+        let mut replay = sim();
+        replay.idle(TimeSpan::seconds(0.123_456_789));
+        let before = replay.counters().elapsed_ns;
+        replay.launch(&kb);
+        assert_eq!(replay.counters().elapsed_ns - before, delta_full);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "past buffer")]
+    fn out_of_bounds_access_is_caught_in_debug() {
+        let mut g = sim();
+        let buf = g.alloc(1 << 20).unwrap();
+        let k = KernelDesc::new("oob", 1e3, 1e3).access(
+            buf,
+            1 << 20,
+            64,
+            AccessKind::Read,
+            ReuseHint::Streaming,
+        );
+        g.launch(&k);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "past buffer")]
+    fn overflowing_access_range_is_caught_in_debug() {
+        let mut g = sim();
+        let buf = g.alloc(1 << 20).unwrap();
+        let k = KernelDesc::new("wrap", 1e3, 1e3).access(
+            buf,
+            u64::MAX - 16,
+            64,
+            AccessKind::Read,
+            ReuseHint::Streaming,
+        );
+        g.launch(&k);
     }
 
     #[test]

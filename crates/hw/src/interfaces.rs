@@ -54,6 +54,62 @@ pub fn gpu_interface(cfg: &GpuConfig) -> Interface {
     parse(&src).expect("generated GPU interface must parse")
 }
 
+/// Builds the DVFS-aware vendor energy interface of a GPU.
+///
+/// Like [`gpu_interface`] but every kernel-level function takes the
+/// graphics-clock fraction `freq` (granted clock / top clock) as an extra
+/// argument, matching [`crate::gpu::GpuSim::set_clock_mhz`]:
+///
+/// - `gpu_kernel_f(flops, logical_bytes, l2_sectors, vram_sectors, freq)` —
+///   compute time stretches by `1/freq`, per-event dynamic energy scales by
+///   `(v0 + (1-v0)·freq)²` (the near-linear V(f) curve), memory bandwidth
+///   and static power are unaffected;
+/// - `gpu_time_f(flops, vram_sectors, freq)` — the same roofline duration as
+///   an abstract `sec`-unit result, so latency predictions flow through the
+///   exact machinery (and calibration) energy predictions use;
+/// - `gpu_idle(seconds)` — static power over a duration.
+pub fn gpu_interface_dvfs(cfg: &GpuConfig) -> Interface {
+    let src = format!(
+        r#"
+        interface gpu_{name}_dvfs "DVFS-aware vendor energy interface for {name}" {{
+            unit sec;
+            fn gpu_kernel_f(flops, logical_bytes, l2_sectors, vram_sectors, freq) {{
+                let instructions = flops / 2 + logical_bytes / 128;
+                let l1_wavefronts = logical_bytes / 128;
+                let compute_s = flops / ({eff_flops} * freq);
+                let mem_s = vram_sectors * 32 / {bw};
+                let duration = max(max(compute_s, mem_s), 0.000002);
+                let vscale = {v0} + {v1} * freq;
+                return ({e_instr} J * instructions
+                     + {e_l1} J * l1_wavefronts
+                     + {e_l2} J * l2_sectors
+                     + {e_vram} J * vram_sectors) * (vscale * vscale)
+                     + {static_w} J * duration;
+            }}
+            fn gpu_time_f(flops, vram_sectors, freq) {{
+                let compute_s = flops / ({eff_flops} * freq);
+                let mem_s = vram_sectors * 32 / {bw};
+                return 1 sec * max(max(compute_s, mem_s), 0.000002);
+            }}
+            fn gpu_idle(seconds) {{
+                return {static_w} J * seconds;
+            }}
+        }}
+        "#,
+        name = cfg.name,
+        eff_flops = cfg.peak_flops * cfg.efficiency,
+        bw = cfg.vram_bandwidth,
+        e_instr = cfg.e_instruction.as_joules(),
+        e_l1 = cfg.e_l1_wavefront.as_joules(),
+        e_l2 = cfg.e_l2_sector.as_joules(),
+        e_vram = cfg.e_vram_sector.as_joules(),
+        static_w = cfg.static_power.as_watts(),
+        v0 = cfg.dvfs_v0,
+        v1 = 1.0 - cfg.dvfs_v0,
+    );
+    parse(&src).expect("generated DVFS GPU interface must parse")
+}
+
 /// Builds the vendor energy interface of a CPU core type.
 ///
 /// Exported: `cpu_run_<name>(work, opp)` — energy to execute `work` units at
@@ -168,6 +224,106 @@ mod tests {
             let rel = (e.as_joules() - report.energy.as_joules()).abs() / report.energy.as_joules();
             assert!(rel < 1e-9, "{}: rel={rel}", cfg.name);
         }
+    }
+
+    #[test]
+    fn dvfs_interface_matches_simulator_at_every_supported_step() {
+        // Given true counters and the granted clock fraction, the vendor's
+        // DVFS interface must reproduce the simulator bit-tight at a
+        // sample of supported clocks (incl. the extremes).
+        let cfg = rtx4090();
+        let iface = gpu_interface_dvfs(&cfg);
+        for mhz in [210u32, 1260, 1890, 2520] {
+            let mut sim = GpuSim::new(cfg.clone());
+            let granted = sim.set_clock_mhz(mhz);
+            assert_eq!(granted, mhz, "probe clocks sit on the ladder");
+            let buf = sim.alloc(32 << 20).unwrap();
+            let k = KernelDesc::new("k", 3e9, 8.0 * 1024.0 * 1024.0).access(
+                buf,
+                0,
+                16 << 20,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            );
+            let report = sim.launch(&k);
+            let c = sim.counters();
+            let e = evaluate_energy(
+                &iface,
+                "gpu_kernel_f",
+                &[
+                    Value::Num(3e9),
+                    Value::Num(8.0 * 1024.0 * 1024.0),
+                    Value::Num((c.l2_sectors_read + c.l2_sectors_written) as f64),
+                    Value::Num((c.vram_sectors_read + c.vram_sectors_written) as f64),
+                    Value::Num(sim.clock_frac()),
+                ],
+                &EcvEnv::new(),
+                0,
+                &EvalConfig::default(),
+            )
+            .unwrap();
+            let rel = (e.as_joules() - report.energy.as_joules()).abs() / report.energy.as_joules();
+            assert!(rel < 1e-9, "{mhz} MHz: rel={rel}");
+
+            // The sec-unit time function reproduces the roofline duration.
+            let cal = ei_core::units::Calibration::from_pairs([(
+                "sec",
+                ei_core::units::Energy::joules(1.0),
+            )]);
+            let t = evaluate_energy(
+                &iface,
+                "gpu_time_f",
+                &[
+                    Value::Num(3e9),
+                    Value::Num((c.vram_sectors_read + c.vram_sectors_written) as f64),
+                    Value::Num(sim.clock_frac()),
+                ],
+                &EcvEnv::new(),
+                0,
+                &EvalConfig {
+                    calibration: cal,
+                    ..EvalConfig::default()
+                },
+            )
+            .unwrap();
+            let rel_t =
+                (t.as_joules() - report.duration.as_seconds()).abs() / report.duration.as_seconds();
+            assert!(rel_t < 1e-9, "{mhz} MHz: time rel={rel_t}");
+        }
+    }
+
+    #[test]
+    fn dvfs_interface_at_top_clock_equals_plain_interface() {
+        let cfg = rtx4090();
+        let plain = gpu_interface(&cfg);
+        let dvfs = gpu_interface_dvfs(&cfg);
+        let args = [
+            Value::Num(5e9),
+            Value::Num(2.0 * 1024.0 * 1024.0),
+            Value::Num(40_000.0),
+            Value::Num(9_000.0),
+        ];
+        let mut args_f = args.to_vec();
+        args_f.push(Value::Num(1.0));
+        let a = evaluate_energy(
+            &plain,
+            "gpu_kernel",
+            &args,
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        let b = evaluate_energy(
+            &dvfs,
+            "gpu_kernel_f",
+            &args_f,
+            &EcvEnv::new(),
+            0,
+            &EvalConfig::default(),
+        )
+        .unwrap();
+        assert!((a.as_joules() - b.as_joules()).abs() < 1e-12 * a.as_joules());
     }
 
     #[test]

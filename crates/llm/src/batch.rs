@@ -1,0 +1,730 @@
+//! Continuous-batching GPT-2 serving on the simulated GPU.
+//!
+//! Iteration-level scheduling in the vLLM/Orca style: the engine keeps a
+//! running batch of sequences and, every iteration, admits queued prompts
+//! into it, runs *one* model pass over all fresh tokens (a prefill over the
+//! whole prompt for just-admitted sequences, one decode token for the
+//! rest — mixed in the same kernels), and retires sequences that have
+//! produced their last token. Admission is gated by the per-layer KV-cache
+//! buffers: a request is admitted only when a contiguous region of
+//! `prompt_len + gen_len` token slots is free in every layer, queued while
+//! it could fit later, and rejected when it can never fit (or the queue is
+//! full).
+//!
+//! This is the ground-truth side of E12: every kernel is executed on the
+//! simulated GPU, so energies, cache behaviour, and step durations come
+//! from the device, not from a model. Durations are tracked through the
+//! integer nanosecond counter, making reports bit-stable on replay.
+
+use ei_core::units::{Energy, TimeSpan};
+use ei_hw::cache::{AccessKind, BufferId, ReuseHint};
+use ei_hw::gpu::{GpuCounters, GpuSim, KernelDesc};
+
+use crate::engine::{delta_counters, elapsed_delta, LOGICAL_BYTES_PER_FLOP};
+use crate::model::Gpt2Config;
+
+/// Engine-level configuration of the batching serve loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Model architecture.
+    pub model: Gpt2Config,
+    /// Maximum concurrent sequences in the running batch.
+    pub max_batch: usize,
+    /// Per-layer KV-cache capacity, in token slots shared by the batch.
+    pub kv_slot_tokens: u64,
+    /// Waiting-queue capacity; submissions beyond it are rejected.
+    pub queue_depth: usize,
+}
+
+impl BatchConfig {
+    /// A capacity sized for `max_batch` sequences of up to `seq_tokens`
+    /// tokens each (the natural closed-workload shape).
+    pub fn for_batch(model: Gpt2Config, max_batch: usize, seq_tokens: u64) -> Self {
+        BatchConfig {
+            model,
+            max_batch,
+            kv_slot_tokens: max_batch as u64 * seq_tokens,
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// One generation request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchRequest {
+    /// Prompt tokens to prefill.
+    pub prompt_len: u64,
+    /// Tokens to generate (≥ 1).
+    pub gen_len: u64,
+}
+
+/// What `submit` did with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Entered the waiting queue (admission into the batch happens at the
+    /// next iteration boundary where its KV reservation fits).
+    Queued,
+    /// Dropped: the request can never fit (degenerate or larger than the
+    /// KV capacity / context window) or the queue is full.
+    Rejected,
+}
+
+/// A sequence currently in the running batch.
+#[derive(Debug, Clone)]
+struct ActiveSeq {
+    /// Submission index (stable identity for tests/traces).
+    id: u64,
+    prompt_len: u64,
+    gen_len: u64,
+    /// First token slot of this sequence's KV reservation (per layer).
+    kv_slot: u64,
+    /// Token slots reserved (prompt + gen).
+    kv_len: u64,
+    /// Tokens currently in the KV cache (0 until its prefill runs).
+    ctx: u64,
+    /// Tokens produced so far.
+    produced: u64,
+}
+
+/// Aggregate report of a batched serve.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests admitted into the batch.
+    pub admitted: u64,
+    /// Requests rejected at submission.
+    pub rejected: u64,
+    /// Requests that produced all their tokens.
+    pub completed: u64,
+    /// Engine iterations executed.
+    pub steps: u64,
+    /// Tokens generated.
+    pub tokens: u64,
+    /// True total energy over the serve.
+    pub energy: Energy,
+    /// Busy time over the serve (from integer counter deltas).
+    pub duration: TimeSpan,
+    /// Device counter deltas over the serve.
+    pub counters: GpuCounters,
+    /// Duration of every iteration that ran at least one prefill, ns.
+    pub prefill_step_ns: Vec<u64>,
+    /// Duration of every pure-decode iteration, ns.
+    pub decode_step_ns: Vec<u64>,
+    /// Per generated token: the duration (ns) of the iteration that
+    /// produced it. First tokens inherit their prefill iteration, the rest
+    /// their decode iteration — the pool p50/p99 token latency is over.
+    pub token_latency_ns: Vec<u64>,
+}
+
+/// The continuous-batching engine.
+#[derive(Debug)]
+pub struct Gpt2BatchEngine {
+    config: BatchConfig,
+    gpu: GpuSim,
+    wte: BufferId,
+    #[allow(dead_code)]
+    wpe: BufferId,
+    layer_weights: Vec<BufferId>,
+    kv: Vec<BufferId>,
+    act: BufferId,
+    act_bytes: u64,
+    logits: BufferId,
+    /// Running batch, in admission order.
+    active: Vec<ActiveSeq>,
+    /// FIFO admission queue.
+    queue: std::collections::VecDeque<ActiveSeq>,
+    /// Free KV regions as `(first_slot, len)`, sorted, coalesced.
+    free: Vec<(u64, u64)>,
+    next_id: u64,
+    submitted: u64,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    tokens: u64,
+}
+
+impl Gpt2BatchEngine {
+    /// Loads the model and KV pool onto a device; `None` when VRAM is
+    /// insufficient. Buffer layout matches [`crate::Gpt2Engine`] so a
+    /// batch of one replays the single-stream cache behaviour exactly.
+    pub fn new(config: BatchConfig, mut gpu: GpuSim) -> Option<Self> {
+        let m = &config.model;
+        let wte = gpu.alloc(m.wte_bytes())?;
+        let wpe = gpu.alloc(m.wpe_bytes())?;
+        let mut layer_weights = Vec::new();
+        let mut kv = Vec::new();
+        for _ in 0..m.n_layer {
+            layer_weights.push(gpu.alloc(m.layer_weight_bytes())?);
+            kv.push(gpu.alloc(config.kv_slot_tokens * m.kv_bytes_per_token_layer())?);
+        }
+        // Widest possible iteration: every KV slot holds a fresh token
+        // (an all-prefill batch filling the pool).
+        let act_bytes = m.act_buffer_bytes(config.kv_slot_tokens);
+        let act = gpu.alloc(act_bytes)?;
+        let logits = gpu.alloc(config.max_batch as u64 * m.vocab * m.dtype_bytes)?;
+        let free = vec![(0, config.kv_slot_tokens)];
+        Some(Gpt2BatchEngine {
+            config,
+            gpu,
+            wte,
+            wpe,
+            layer_weights,
+            kv,
+            act,
+            act_bytes,
+            logits,
+            active: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+            free,
+            next_id: 0,
+            submitted: 0,
+            admitted: 0,
+            rejected: 0,
+            completed: 0,
+            tokens: 0,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Access to the underlying device.
+    pub fn gpu(&self) -> &GpuSim {
+        &self.gpu
+    }
+
+    /// Mutable access to the device (DVFS, idle periods).
+    pub fn gpu_mut(&mut self) -> &mut GpuSim {
+        &mut self.gpu
+    }
+
+    /// Sequences currently in the running batch.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Requests waiting for a KV reservation.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a request. Impossible requests (empty prompt, zero tokens,
+    /// longer than the context window or the whole KV pool, overflowing
+    /// lengths) are rejected immediately, as are any once the queue is
+    /// full; everything else queues FIFO.
+    pub fn submit(&mut self, req: BatchRequest) -> Admission {
+        self.submitted += 1;
+        let total = req.prompt_len.checked_add(req.gen_len);
+        let fits_ever = req.prompt_len >= 1
+            && req.gen_len >= 1
+            && total
+                .is_some_and(|t| t <= self.config.model.max_seq && t <= self.config.kv_slot_tokens);
+        if !fits_ever || self.queue.len() >= self.config.queue_depth {
+            self.rejected += 1;
+            ei_telemetry::counter_add("llm.batch.rejected", 1);
+            return Admission::Rejected;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(ActiveSeq {
+            id,
+            prompt_len: req.prompt_len,
+            gen_len: req.gen_len,
+            kv_slot: 0,
+            kv_len: req.prompt_len + req.gen_len,
+            ctx: 0,
+            produced: 0,
+        });
+        Admission::Queued
+    }
+
+    /// Reserves a contiguous KV region (first fit); `None` when fragmented
+    /// or full.
+    fn reserve(&mut self, slots: u64) -> Option<u64> {
+        let idx = self.free.iter().position(|&(_, len)| len >= slots)?;
+        let (start, len) = self.free[idx];
+        if len == slots {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (start + slots, len - slots);
+        }
+        Some(start)
+    }
+
+    /// Returns a KV region to the free list, coalescing neighbours.
+    fn release(&mut self, start: u64, slots: u64) {
+        let idx = self.free.partition_point(|&(s, _)| s < start);
+        self.free.insert(idx, (start, slots));
+        // Coalesce right then left.
+        if idx + 1 < self.free.len() && self.free[idx].0 + self.free[idx].1 == self.free[idx + 1].0
+        {
+            self.free[idx].1 += self.free[idx + 1].1;
+            self.free.remove(idx + 1);
+        }
+        if idx > 0 && self.free[idx - 1].0 + self.free[idx - 1].1 == self.free[idx].0 {
+            self.free[idx - 1].1 += self.free[idx].1;
+            self.free.remove(idx);
+        }
+    }
+
+    /// Admits queued requests (FIFO, head-of-line blocking) while the
+    /// batch has a seat and a contiguous KV reservation fits.
+    fn admit(&mut self) {
+        while self.active.len() < self.config.max_batch {
+            let Some(head) = self.queue.front() else {
+                break;
+            };
+            let slots = head.kv_len;
+            let Some(start) = self.reserve(slots) else {
+                break;
+            };
+            let mut seq = self.queue.pop_front().expect("front exists");
+            seq.kv_slot = start;
+            self.active.push(seq);
+            self.admitted += 1;
+            ei_telemetry::counter_add("llm.batch.admitted", 1);
+        }
+    }
+
+    /// True when no work remains (running batch and queue both empty).
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.queue.is_empty()
+    }
+
+    /// One matmul over `tokens` fresh rows (batched across sequences).
+    fn matmul(
+        &mut self,
+        name: &str,
+        tokens: u64,
+        weight: BufferId,
+        w_off: u64,
+        w_bytes: u64,
+        out_bytes: u64,
+    ) {
+        let m = &self.config.model;
+        let in_out = (w_bytes / m.dtype_bytes) as f64;
+        let flops = 2.0 * tokens as f64 * in_out;
+        let logical = w_bytes as f64 + flops * LOGICAL_BYTES_PER_FLOP;
+        let act_bytes = tokens * m.d_model * m.dtype_bytes;
+        let k = KernelDesc::new(name, flops, logical)
+            .access(
+                weight,
+                w_off,
+                w_bytes,
+                AccessKind::Read,
+                ReuseHint::Streaming,
+            )
+            .access(
+                self.act,
+                0,
+                act_bytes,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            )
+            .access(
+                self.act,
+                act_bytes,
+                out_bytes.min(self.act_bytes.saturating_sub(act_bytes)),
+                AccessKind::Write,
+                ReuseHint::Temporal,
+            );
+        self.gpu.launch(&k);
+    }
+
+    /// Attention for one sequence: `new_tokens` fresh tokens against its
+    /// own KV region, context ending at `ctx_end` tokens.
+    fn attention(&mut self, layer: usize, kv_slot: u64, new_tokens: u64, ctx_end: u64) {
+        let m = &self.config.model;
+        let kv_buf = self.kv[layer];
+        let per_tok = m.kv_bytes_per_token_layer();
+        let base = kv_slot * per_tok;
+        let first_ctx = ctx_end - new_tokens + 1;
+        let avg_ctx = (first_ctx + ctx_end) as f64 / 2.0;
+        let flops = new_tokens as f64 * 4.0 * avg_ctx * m.d_model as f64;
+        let read_bytes = ctx_end * per_tok;
+        let write_off = base + (ctx_end - new_tokens) * per_tok;
+        let write_bytes = new_tokens * per_tok;
+        let logical = read_bytes as f64 + flops * LOGICAL_BYTES_PER_FLOP;
+        let k = KernelDesc::new("attention", flops, logical)
+            .access(
+                kv_buf,
+                base,
+                read_bytes,
+                AccessKind::Read,
+                ReuseHint::Temporal,
+            )
+            .access(
+                kv_buf,
+                write_off,
+                write_bytes,
+                AccessKind::Write,
+                ReuseHint::Temporal,
+            );
+        self.gpu.launch(&k);
+    }
+
+    /// Embedding gather over all fresh tokens of the iteration.
+    fn embed(&mut self, tokens: u64) {
+        let m = &self.config.model;
+        let bytes = tokens * m.d_model * m.dtype_bytes;
+        let k = KernelDesc::new("embed", 2.0 * bytes as f64, 2.0 * bytes as f64)
+            .access(self.wte, 0, bytes, AccessKind::Read, ReuseHint::Temporal)
+            .access(
+                self.act,
+                0,
+                bytes.min(self.act_bytes),
+                AccessKind::Write,
+                ReuseHint::Temporal,
+            );
+        self.gpu.launch(&k);
+    }
+
+    /// Batched LM head: one logits row per sequence in the batch.
+    fn lm_head(&mut self, rows: u64) {
+        let m = &self.config.model;
+        let flops = rows as f64 * m.lm_head_flops();
+        let w_bytes = m.wte_bytes();
+        let logical = w_bytes as f64 + flops * LOGICAL_BYTES_PER_FLOP;
+        let k = KernelDesc::new("lm_head", flops, logical)
+            .access(self.wte, 0, w_bytes, AccessKind::Read, ReuseHint::Streaming)
+            .access(
+                self.logits,
+                0,
+                rows * m.vocab * m.dtype_bytes,
+                AccessKind::Write,
+                ReuseHint::Streaming,
+            );
+        self.gpu.launch(&k);
+    }
+
+    /// Runs one engine iteration: admit, then a single model pass over all
+    /// fresh tokens (prefill + decode mixed), then retire finished
+    /// sequences. Returns `(iteration_ns, had_prefill, tokens_produced)`,
+    /// or `None` when there was nothing to run.
+    pub fn step(&mut self) -> Option<(u64, bool, u64)> {
+        self.admit();
+        if self.active.is_empty() {
+            return None;
+        }
+        let ns0 = self.gpu.counters().elapsed_ns;
+
+        // Fresh-token plan per active sequence, in admission order.
+        let plan: Vec<(u64, u64, u64)> = self
+            .active
+            .iter()
+            .map(|s| {
+                let fresh = if s.ctx == 0 { s.prompt_len } else { 1 };
+                (s.kv_slot, fresh, s.ctx + fresh)
+            })
+            .collect();
+        let had_prefill = self.active.iter().any(|s| s.ctx == 0);
+        let total_fresh: u64 = plan.iter().map(|&(_, fresh, _)| fresh).sum();
+
+        self.embed(total_fresh);
+        let m = self.config.model.clone();
+        let d_out = |cols: u64| total_fresh * cols * m.dtype_bytes;
+        for l in 0..m.n_layer as usize {
+            let w = self.layer_weights[l];
+            let mut off = 0;
+            self.matmul(
+                "qkv",
+                total_fresh,
+                w,
+                off,
+                m.w_attn_bytes(),
+                d_out(3 * m.d_model),
+            );
+            off += m.w_attn_bytes();
+            for &(kv_slot, fresh, ctx_end) in &plan {
+                self.attention(l, kv_slot, fresh, ctx_end);
+            }
+            self.matmul(
+                "proj",
+                total_fresh,
+                w,
+                off,
+                m.w_proj_bytes(),
+                d_out(m.d_model),
+            );
+            off += m.w_proj_bytes();
+            self.matmul("fc1", total_fresh, w, off, m.w_fc_bytes(), d_out(m.d_ff));
+            off += m.w_fc_bytes();
+            self.matmul(
+                "fc2",
+                total_fresh,
+                w,
+                off,
+                m.w_fc2_bytes(),
+                d_out(m.d_model),
+            );
+        }
+        self.lm_head(self.active.len() as u64);
+
+        let step_ns = self.gpu.counters().elapsed_ns - ns0;
+
+        // Every active sequence produced one token this iteration.
+        let produced = self.active.len() as u64;
+        self.tokens += produced;
+        ei_telemetry::counter_add("llm.batch.tokens", produced);
+        let mut finished = Vec::new();
+        for s in &mut self.active {
+            if s.ctx == 0 {
+                s.ctx = s.prompt_len;
+            } else {
+                s.ctx += 1;
+            }
+            s.produced += 1;
+            if s.produced == s.gen_len {
+                finished.push(s.id);
+            }
+        }
+        for id in finished {
+            let idx = self
+                .active
+                .iter()
+                .position(|s| s.id == id)
+                .expect("finished id is active");
+            let seq = self.active.remove(idx);
+            self.release(seq.kv_slot, seq.kv_len);
+            self.completed += 1;
+            ei_telemetry::counter_add("llm.batch.completed", 1);
+        }
+        Some((step_ns, had_prefill, produced))
+    }
+
+    /// Serves a whole workload to completion: submits every request, then
+    /// iterates until the batch and queue drain. Returns the aggregate
+    /// report; token conservation (`submitted == admitted + rejected`,
+    /// `tokens == Σ gen_len` of admitted) is asserted.
+    pub fn run(&mut self, workload: &[BatchRequest]) -> BatchReport {
+        let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Generate, "batch_serve");
+        let e0 = self.gpu.energy();
+        let c0 = self.gpu.counters();
+        let mut expected_tokens = 0;
+        for &req in workload {
+            if self.submit(req) == Admission::Queued {
+                expected_tokens += req.gen_len;
+            }
+        }
+        let mut prefill_step_ns = Vec::new();
+        let mut decode_step_ns = Vec::new();
+        let mut token_latency_ns = Vec::new();
+        let mut steps = 0;
+        while let Some((ns, had_prefill, produced)) = self.step() {
+            steps += 1;
+            if had_prefill {
+                prefill_step_ns.push(ns);
+            } else {
+                decode_step_ns.push(ns);
+            }
+            for _ in 0..produced {
+                token_latency_ns.push(ns);
+            }
+        }
+        assert!(self.is_idle(), "run must drain the queue");
+        assert_eq!(
+            self.submitted,
+            self.admitted + self.rejected,
+            "every request is admitted or rejected"
+        );
+        assert_eq!(self.admitted, self.completed, "admitted sequences finish");
+        assert_eq!(self.tokens, expected_tokens, "token conservation");
+        let c1 = self.gpu.counters();
+        sp.add_items(self.tokens);
+        sp.record_energy((self.gpu.energy() - e0).as_joules());
+        BatchReport {
+            submitted: self.submitted,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            completed: self.completed,
+            steps,
+            tokens: self.tokens,
+            energy: self.gpu.energy() - e0,
+            duration: elapsed_delta(&c1, &c0),
+            counters: delta_counters(&c1, &c0),
+            prefill_step_ns,
+            decode_step_ns,
+            token_latency_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::gpt2_small;
+    use crate::Gpt2Engine;
+    use ei_hw::gpu::rtx4090;
+
+    fn batch_engine(max_batch: usize, seq_tokens: u64) -> Gpt2BatchEngine {
+        let cfg = BatchConfig::for_batch(gpt2_small(), max_batch, seq_tokens);
+        Gpt2BatchEngine::new(cfg, GpuSim::new(rtx4090())).expect("model fits")
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_stream_generate() {
+        // A batch engine capped at one sequence must replay the exact
+        // single-stream kernel stream: identical energies and counters.
+        let mut single = Gpt2Engine::new(gpt2_small(), GpuSim::new(rtx4090())).unwrap();
+        let r1 = single.generate(16, 8);
+        let mut batch = batch_engine(1, 1024);
+        let rb = batch.run(&[BatchRequest {
+            prompt_len: 16,
+            gen_len: 8,
+        }]);
+        assert_eq!(
+            rb.energy.as_joules().to_bits(),
+            r1.energy.as_joules().to_bits()
+        );
+        assert_eq!(rb.counters, r1.counters);
+        assert_eq!(rb.tokens, 8);
+        assert_eq!(rb.steps, 8);
+    }
+
+    #[test]
+    fn batching_amortizes_energy_per_token() {
+        let req = BatchRequest {
+            prompt_len: 8,
+            gen_len: 16,
+        };
+        let j_per_tok = |b: usize| {
+            let mut e = batch_engine(b, 24);
+            let r = e.run(&vec![req; b]);
+            r.energy.as_joules() / r.tokens as f64
+        };
+        let b1 = j_per_tok(1);
+        let b4 = j_per_tok(4);
+        assert!(
+            b4 < 0.5 * b1,
+            "4-way batching must amortize streamed weights: {b4} vs {b1}"
+        );
+    }
+
+    #[test]
+    fn admission_control_queues_then_rejects() {
+        // Pool of 2×24 slots, batch of 2: the third request queues; an
+        // impossible request rejects immediately.
+        let mut e = batch_engine(2, 24);
+        let ok = BatchRequest {
+            prompt_len: 8,
+            gen_len: 16,
+        };
+        assert_eq!(e.submit(ok), Admission::Queued);
+        assert_eq!(e.submit(ok), Admission::Queued);
+        assert_eq!(e.submit(ok), Admission::Queued);
+        e.step().unwrap();
+        // Only two fit the running batch; the third waits.
+        assert_eq!(e.active_len(), 2);
+        assert_eq!(e.queue_len(), 1);
+        assert_eq!(
+            e.submit(BatchRequest {
+                prompt_len: 100,
+                gen_len: 100,
+            }),
+            Admission::Rejected,
+            "larger than the KV pool"
+        );
+        assert_eq!(
+            e.submit(BatchRequest {
+                prompt_len: 0,
+                gen_len: 5,
+            }),
+            Admission::Rejected
+        );
+        assert_eq!(
+            e.submit(BatchRequest {
+                prompt_len: u64::MAX,
+                gen_len: 2,
+            }),
+            Admission::Rejected,
+            "overflowing lengths must not wrap"
+        );
+        while e.step().is_some() {}
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn late_arrival_prefill_mixes_into_running_decode() {
+        // One long sequence decodes while a second is admitted later: the
+        // iteration that admits it runs prefill + decode mixed, and both
+        // finish. (Queue admission happens at iteration boundaries.)
+        let mut e = batch_engine(2, 64);
+        e.submit(BatchRequest {
+            prompt_len: 8,
+            gen_len: 20,
+        });
+        // Run 5 decode iterations solo.
+        for _ in 0..5 {
+            e.step().unwrap();
+        }
+        e.submit(BatchRequest {
+            prompt_len: 8,
+            gen_len: 4,
+        });
+        let (_, had_prefill, produced) = e.step().unwrap();
+        assert!(had_prefill, "admission iteration prefills the newcomer");
+        assert_eq!(produced, 2, "newcomer and incumbent both produce");
+        while e.step().is_some() {}
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn kv_regions_are_recycled() {
+        // Sequential waves through a pool sized for one wave: regions must
+        // free and coalesce or later waves could never be admitted.
+        let mut e = batch_engine(2, 12);
+        let req = BatchRequest {
+            prompt_len: 4,
+            gen_len: 8,
+        };
+        let r = e.run(&[req; 6]);
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.tokens, 48);
+    }
+
+    #[test]
+    fn queue_depth_rejects_overflow() {
+        let mut cfg = BatchConfig::for_batch(gpt2_small(), 1, 16);
+        cfg.queue_depth = 2;
+        let mut e = Gpt2BatchEngine::new(cfg, GpuSim::new(rtx4090())).unwrap();
+        let req = BatchRequest {
+            prompt_len: 4,
+            gen_len: 4,
+        };
+        assert_eq!(e.submit(req), Admission::Queued);
+        assert_eq!(e.submit(req), Admission::Queued);
+        assert_eq!(e.submit(req), Admission::Rejected, "queue full");
+    }
+
+    #[test]
+    fn report_is_bit_identical_on_replay() {
+        let workload: Vec<BatchRequest> = (0..6)
+            .map(|i| BatchRequest {
+                prompt_len: 4 + i,
+                gen_len: 6 + (i % 3),
+            })
+            .collect();
+        let run = || {
+            let mut e = batch_engine(3, 40);
+            e.run(&workload)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.energy.as_joules().to_bits(),
+            b.energy.as_joules().to_bits()
+        );
+        assert_eq!(
+            a.duration.as_seconds().to_bits(),
+            b.duration.as_seconds().to_bits()
+        );
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.token_latency_ns, b.token_latency_ns);
+        assert_eq!(a.prefill_step_ns, b.prefill_step_ns);
+        assert_eq!(a.decode_step_ns, b.decode_step_ns);
+    }
+}

@@ -28,6 +28,8 @@ pub struct Gpt2Engine {
     layer_weights: Vec<BufferId>,
     kv: Vec<BufferId>,
     act: BufferId,
+    /// Capacity of `act`, bytes; matmul output writes are clamped to it.
+    act_bytes: u64,
     logits: BufferId,
 }
 
@@ -60,7 +62,13 @@ impl Gpt2Engine {
             layer_weights.push(gpu.alloc(config.layer_weight_bytes())?);
             kv.push(gpu.alloc(config.kv_layer_buffer_bytes())?);
         }
-        let act = gpu.alloc(4 << 20)?;
+        // Sized for the widest possible step (a full-context prefill), not
+        // a fixed 4 MiB: a prefill of `max_seq` tokens keeps
+        // `max_seq × d_model` hidden states resident while fc1 writes
+        // `max_seq × d_ff` behind them, and a fixed buffer would send
+        // those kernels past the allocation.
+        let act_bytes = config.act_buffer_bytes(config.max_seq);
+        let act = gpu.alloc(act_bytes)?;
         let logits = gpu.alloc(config.vocab * config.dtype_bytes)?;
         Some(Gpt2Engine {
             config,
@@ -70,6 +78,7 @@ impl Gpt2Engine {
             layer_weights,
             kv,
             act,
+            act_bytes,
             logits,
         })
     }
@@ -122,7 +131,7 @@ impl Gpt2Engine {
             .access(
                 self.act,
                 act_bytes,
-                out_bytes.min((4 << 20) - act_bytes),
+                out_bytes.min(self.act_bytes.saturating_sub(act_bytes)),
                 AccessKind::Write,
                 ReuseHint::Temporal,
             );
@@ -164,7 +173,7 @@ impl Gpt2Engine {
             .access(
                 self.act,
                 0,
-                bytes.min(4 << 20),
+                bytes.min(self.act_bytes),
                 AccessKind::Write,
                 ReuseHint::Temporal,
             );
@@ -221,17 +230,26 @@ impl Gpt2Engine {
 
     /// Autoregressive generation: prefill `prompt_len` tokens, then generate
     /// `gen_len` tokens. Returns the ground-truth report.
+    ///
+    /// An empty prompt is rejected: GPT-2 generation is conditioned on at
+    /// least one token (HF pipelines insert a BOS token), and accepting
+    /// `prompt_len == 0` would silently emit zero-token, zero-FLOP kernels
+    /// through `embed(0)` and report a bogus near-zero energy.
     pub fn generate(&mut self, prompt_len: u64, gen_len: u64) -> GenerationReport {
+        assert!(prompt_len >= 1, "prefill needs at least one prompt token");
         assert!(gen_len >= 1, "generate at least one token");
+        // checked_add: `u64::MAX` prompt/gen lengths must trip this assert,
+        // not wrap around and pass it.
         assert!(
-            prompt_len + gen_len <= self.config.max_seq,
+            prompt_len
+                .checked_add(gen_len)
+                .is_some_and(|total| total <= self.config.max_seq),
             "sequence exceeds the model's context window"
         );
         let mut sp = ei_telemetry::span(ei_telemetry::SpanKind::Generate, &self.config.name);
         sp.add_items(gen_len);
         ei_telemetry::counter_add("llm.generated_tokens", gen_len);
         let e0 = self.gpu.energy();
-        let t0 = self.gpu.counters().elapsed;
         let c0 = self.gpu.counters();
 
         // Prefill.
@@ -260,19 +278,37 @@ impl Gpt2Engine {
             prompt_len,
             gen_len,
             energy: self.gpu.energy() - e0,
-            duration: TimeSpan::seconds(c1.elapsed.as_seconds() - t0.as_seconds()),
-            counters: GpuCounters {
-                instructions: c1.instructions - c0.instructions,
-                l1_wavefronts: c1.l1_wavefronts - c0.l1_wavefronts,
-                l2_sectors_read: c1.l2_sectors_read - c0.l2_sectors_read,
-                l2_sectors_written: c1.l2_sectors_written - c0.l2_sectors_written,
-                vram_sectors_read: c1.vram_sectors_read - c0.vram_sectors_read,
-                vram_sectors_written: c1.vram_sectors_written - c0.vram_sectors_written,
-                elapsed: TimeSpan::seconds(c1.elapsed.as_seconds() - c0.elapsed.as_seconds()),
-                launches: c1.launches - c0.launches,
-            },
+            // Durations come from the integer nanosecond counter: an f64
+            // `as_seconds()` subtraction would make the report depend on
+            // how much work the device had already accumulated (the larger
+            // the running sum, the fewer mantissa bits the delta keeps),
+            // so replays would not be bit-stable.
+            duration: elapsed_delta(&c1, &c0),
+            counters: delta_counters(&c1, &c0),
             energy_per_token,
         }
+    }
+}
+
+/// The elapsed time between two counter snapshots, derived from the exact
+/// integer nanosecond counter (prefix-independent, bit-stable on replay).
+pub(crate) fn elapsed_delta(c1: &GpuCounters, c0: &GpuCounters) -> TimeSpan {
+    TimeSpan::seconds((c1.elapsed_ns - c0.elapsed_ns) as f64 / 1e9)
+}
+
+/// Counter deltas between two snapshots; `elapsed` is reconstructed from
+/// the integer nanosecond delta rather than f64 subtraction.
+pub(crate) fn delta_counters(c1: &GpuCounters, c0: &GpuCounters) -> GpuCounters {
+    GpuCounters {
+        instructions: c1.instructions - c0.instructions,
+        l1_wavefronts: c1.l1_wavefronts - c0.l1_wavefronts,
+        l2_sectors_read: c1.l2_sectors_read - c0.l2_sectors_read,
+        l2_sectors_written: c1.l2_sectors_written - c0.l2_sectors_written,
+        vram_sectors_read: c1.vram_sectors_read - c0.vram_sectors_read,
+        vram_sectors_written: c1.vram_sectors_written - c0.vram_sectors_written,
+        elapsed: TimeSpan::seconds((c1.elapsed_ns - c0.elapsed_ns) as f64 / 1e9),
+        elapsed_ns: c1.elapsed_ns - c0.elapsed_ns,
+        launches: c1.launches - c0.launches,
     }
 }
 
@@ -368,5 +404,62 @@ mod tests {
             e.generate(1000, 100);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_prompt_is_rejected() {
+        let mut e = engine(rtx4090());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.generate(0, 10);
+        }));
+        assert!(result.is_err(), "prompt_len == 0 must not silently no-op");
+    }
+
+    #[test]
+    fn context_window_check_survives_adversarial_u64() {
+        // prompt + gen wraps around u64: the old `prompt + gen <= max_seq`
+        // would overflow to a small number and pass.
+        let mut e = engine(rtx4090());
+        for (p, g) in [(u64::MAX, 2), (2, u64::MAX), (u64::MAX, u64::MAX)] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                e.generate(p, g);
+            }));
+            assert!(result.is_err(), "({p}, {g}) must be rejected");
+        }
+    }
+
+    #[test]
+    fn full_context_prefill_stays_in_bounds() {
+        // Regression for the fixed 4 MiB activation buffer: a max-width
+        // prefill (1024 tokens × (d_model + d_ff) × 2 B ≈ 7.9 MB) used to
+        // write past it; the GpuSim debug bounds assert now proves the
+        // resized buffer holds every kernel.
+        let mut e = engine(rtx4090());
+        let max = e.config().max_seq;
+        let r = e.generate(max - 1, 1);
+        assert_eq!(r.gen_len, 1);
+        assert!(r.energy.as_joules() > 0.0);
+    }
+
+    #[test]
+    fn report_deltas_are_prefix_independent() {
+        // A device that has already accumulated a huge f64 elapsed sum must
+        // report bit-identical durations for identical work. The old
+        // `as_seconds()` subtraction lost mantissa bits to the prefix.
+        let fresh = engine(rtx4090()).generate(16, 8);
+        let mut warm = engine(rtx4090());
+        warm.gpu_mut().idle(TimeSpan::seconds(1.0e7));
+        let replay = warm.generate(16, 8);
+        assert_eq!(
+            fresh.duration.as_seconds().to_bits(),
+            replay.duration.as_seconds().to_bits(),
+            "duration must come from integer counter deltas"
+        );
+        assert_eq!(
+            fresh.counters.elapsed.as_seconds().to_bits(),
+            replay.counters.elapsed.as_seconds().to_bits()
+        );
+        assert_eq!(fresh.counters.elapsed_ns, replay.counters.elapsed_ns);
+        assert_eq!(fresh.counters.launches, replay.counters.launches);
     }
 }

@@ -118,7 +118,7 @@ pub fn gpt2_interface(c: &Gpt2Config) -> Interface {
         out_d = d * dtype,
         out_ff = c.d_ff * dtype,
         act_row = d * dtype,
-        act_buf = 4u64 << 20,
+        act_buf = c.act_buffer_bytes(c.max_seq),
         kv_per_tok = c.kv_bytes_per_token_layer(),
         d = d,
         lbpf = LOGICAL_BYTES_PER_FLOP,

@@ -12,10 +12,21 @@
 //!   interface, which predicts the same run analytically via an extern
 //!   hardware interface.
 
+//! - [`batch::Gpt2BatchEngine`]: continuous-batching serving over the same
+//!   kernel stream (iteration-level scheduling, KV admission control), the
+//!   ground truth of the E12 Pareto experiment;
+//! - [`batch_interface::gpt2_batch_interface`]: the batch-aware interface
+//!   (`batch_size`, `context_len`, `gpu_freq` ECVs) predicting per-iteration
+//!   energy *and* duration through a DVFS-aware hardware interface.
+
+pub mod batch;
+pub mod batch_interface;
 pub mod engine;
 pub mod interface;
 pub mod model;
 
+pub use batch::{Admission, BatchConfig, BatchReport, BatchRequest, Gpt2BatchEngine};
+pub use batch_interface::gpt2_batch_interface;
 pub use engine::{GenerationReport, Gpt2Engine};
 pub use interface::gpt2_interface;
 pub use model::{gpt2_medium, gpt2_small, Gpt2Config};

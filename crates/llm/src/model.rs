@@ -101,6 +101,15 @@ impl Gpt2Config {
         self.max_seq * self.kv_bytes_per_token_layer()
     }
 
+    /// Activation-buffer bytes needed for a step over `tokens` rows: the
+    /// resident hidden states (`tokens × d_model`) plus the widest matmul
+    /// output written behind them (`tokens × d_ff`, the fc1 expansion).
+    /// The engine sizes its activation buffer from this at the *maximum*
+    /// step width, so no kernel ever writes past the allocation.
+    pub fn act_buffer_bytes(&self, tokens: u64) -> u64 {
+        tokens * (self.d_model + self.d_ff) * self.dtype_bytes
+    }
+
     /// Total parameter count (approximate; matches the 124M/355M naming).
     pub fn param_count(&self) -> u64 {
         let per_layer = self.layer_weight_bytes() / self.dtype_bytes;

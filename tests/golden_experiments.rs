@@ -1,7 +1,7 @@
 //! Golden-corpus regression over the paper's headline numbers.
 //!
 //! Every report the `--json` binaries emit (Table 1, experiments E1–E7,
-//! the E9 fault matrix, the E10/E11 smoke shapes, and the Fig. 2
+//! the E9 fault matrix, the E10–E12 smoke shapes, and the Fig. 2
 //! full-stack rows) is frozen
 //! as JSON under `tests/golden/`. The tests re-run each experiment and
 //! diff the serialized tree against the golden file, comparing numbers
@@ -192,6 +192,17 @@ fn e11_drift_smoke_matches_golden() {
     check_golden(
         "e11_drift.json",
         &ei_bench::drift::run_with(&ei_bench::drift::E11Config::smoke()).to_value(),
+    );
+}
+
+/// E12 at the CI smoke shape (one model, four operating points). The
+/// full sweep is locked by the `llm_pareto` binary's own acceptance
+/// assertions and archived as `BENCH_llm.json` in CI.
+#[test]
+fn e12_llm_smoke_matches_golden() {
+    check_golden(
+        "e12_llm.json",
+        &ei_bench::llm_pareto::run_with(&ei_bench::llm_pareto::E12Config::smoke()).to_value(),
     );
 }
 
