@@ -1,0 +1,440 @@
+//! CI certification gate: `eic certify`'s engine over every bundled
+//! interface that declares an input domain.
+//!
+//! Each spec-carrying bundled interface (the Fig. 1 web service healthy
+//! and fault-conditioned, GPT-2 single-stream and batch serving, the
+//! vendor DVFS hardware interface, and the microbenchmark-fitted
+//! interface behind Table 1) is certified with the calibration it ships
+//! with. The gate asserts three things:
+//!
+//! 1. every target certifies — finite, ordered `[lower, upper]` Joule
+//!    bounds for every function with a declared domain;
+//! 2. the certificates are *sound in practice*: a deterministic grid of
+//!    concrete executions sampled from each declared domain (corners,
+//!    midpoints, per-axis extremes, three ECV seeds each) always lands
+//!    inside the certified bound;
+//! 3. the bytecode verifier underneath the certifier still rejects every
+//!    entry of the seeded bad-chunk corpus with its recorded diagnostic,
+//!    byte for byte.
+//!
+//! Writes the per-target report as JSON to `cert_report.json` (override
+//! with `CERT_REPORT_OUT`; set it empty to skip) so CI can archive it.
+
+use ei_bench::table1::fitted_gpt2_interface;
+use ei_core::analysis::cert::{certify, Certificate};
+use ei_core::compose::link;
+use ei_core::ecv::EcvEnv;
+use ei_core::interface::{InputSpec, Interface};
+use ei_core::interp::{evaluate_energy, EvalConfig};
+use ei_core::units::{Calibration, Energy};
+use ei_core::value::Value;
+use ei_core::vm;
+use ei_hw::gpu::{rtx4090, GpuSim};
+use ei_hw::interfaces::{gpu_interface, gpu_interface_dvfs};
+use ei_hw::nic::{datacenter_nic, NicSim};
+use ei_llm::batch_interface::gpt2_batch_interface;
+use ei_llm::interface::gpt2_interface;
+use ei_llm::model::gpt2_small;
+use ei_service::cache::CacheEnergy;
+use ei_service::frontend::{
+    calibrate_with_fault, fig1_faulted_calibration, fig1_interface_faulted, FaultMixture,
+};
+use ei_service::service::{fig1_calibration, fig1_interface, MlWebService};
+use serde::Serialize;
+
+/// One gate target: a closed interface plus its deployed calibration.
+struct Target {
+    name: &'static str,
+    iface: Interface,
+    cal: Calibration,
+}
+
+/// ECV seeds for the concrete spot-check executions.
+const SEEDS: [u64; 3] = [0, 1, 2];
+
+fn targets() -> Vec<Target> {
+    let mut out = Vec::new();
+    let sec_cal = || Calibration::from_pairs([("sec", Energy::joules(1.0))]);
+
+    // The Fig. 1 web service, healthy and fault-conditioned (§3 / E9).
+    let mut svc = MlWebService::new(
+        GpuSim::new(rtx4090()),
+        NicSim::new(datacenter_nic()),
+        256,
+        4096,
+    )
+    .expect("service fits");
+    let cal = svc.calibrate_cnn();
+    let nic = datacenter_nic();
+    out.push(Target {
+        name: "service: Fig. 1 interface",
+        iface: fig1_interface(
+            0.25,
+            0.8,
+            &cal,
+            &CacheEnergy::default(),
+            nic.e_byte,
+            nic.e_packet,
+        ),
+        cal: fig1_calibration(&cal),
+    });
+    let cal_br = calibrate_with_fault(&rtx4090(), 0.85, 0.25).expect("probe fits");
+    let mix = FaultMixture {
+        p_request_hit: 0.55,
+        p_local_hit: 0.8,
+        p_remote_alive: 0.9,
+        p_brownout: 0.3,
+        p_degraded_given_brownout: 0.5,
+        timeout_attempts_per_request: 0.02,
+    };
+    out.push(Target {
+        name: "service: fault-conditioned Fig. 1 interface",
+        iface: fig1_interface_faulted(
+            &mix,
+            &cal,
+            &cal_br,
+            &CacheEnergy::default(),
+            nic.e_byte,
+            nic.e_packet,
+        ),
+        cal: fig1_faulted_calibration(&cal, &cal_br),
+    });
+
+    // GPT-2 single-stream and batch serving, linked over the vendor
+    // hardware interfaces so every extern is resolved (§5 / E12).
+    out.push(Target {
+        name: "llm: GPT-2 small over vendor GPU",
+        iface: link(
+            &gpt2_interface(&gpt2_small()),
+            &[&gpu_interface(&rtx4090())],
+        )
+        .expect("link GPT-2 over vendor GPU"),
+        cal: Calibration::empty(),
+    });
+    out.push(Target {
+        name: "llm: GPT-2 batch serving over DVFS GPU",
+        iface: link(
+            &gpt2_batch_interface(&gpt2_small()),
+            &[&gpu_interface_dvfs(&rtx4090())],
+        )
+        .expect("link batch GPT-2 over DVFS GPU"),
+        cal: sec_cal(),
+    });
+
+    // The vendor DVFS hardware interface on its own. The vendor ships no
+    // input spec, so the gate declares the deployment domain — the same
+    // kernel-shape ranges `ei-extract` stamps on fitted interfaces.
+    let mut dvfs = gpu_interface_dvfs(&rtx4090());
+    let kernel_spec = InputSpec::new()
+        .range("flops", 0.0, 1e13)
+        .range("logical_bytes", 0.0, 1e13)
+        .range("l2_sectors", 0.0, 1e12)
+        .range("vram_sectors", 0.0, 1e12)
+        .range("freq", 0.1, 1.0);
+    dvfs.set_input_spec("gpu_kernel_f", kernel_spec);
+    dvfs.set_input_spec(
+        "gpu_time_f",
+        InputSpec::new()
+            .range("flops", 0.0, 1e13)
+            .range("vram_sectors", 0.0, 1e12)
+            .range("freq", 0.1, 1.0),
+    );
+    dvfs.set_input_spec("gpu_idle", InputSpec::new().range("seconds", 0.0, 3600.0));
+    out.push(Target {
+        name: "hw: vendor GPU (DVFS)",
+        iface: dvfs,
+        cal: sec_cal(),
+    });
+
+    // The microbenchmark-extracted interface behind Table 1 (§5), linked.
+    let (linked, _r2) = fitted_gpt2_interface(&rtx4090());
+    out.push(Target {
+        name: "extract: fitted GPT-2 (linked)",
+        iface: linked,
+        cal: Calibration::empty(),
+    });
+
+    out
+}
+
+/// A sampling axis: one scalar parameter, or one field of a record
+/// parameter, with its probe points.
+struct Axis {
+    /// Parameter index in the function signature.
+    param: usize,
+    /// Field name for record parameters (`None` for scalars).
+    field: Option<String>,
+    /// Probe points: `lo`, midpoint, `hi`.
+    points: [f64; 3],
+}
+
+/// Builds the sampling axes for `func`, or `None` when some parameter has
+/// no declared range (the certificate still bounds it via the abstract
+/// domain, but the gate cannot pick concrete values for it).
+fn axes_for(iface: &Interface, func: &str, spec: &InputSpec) -> Option<Vec<Axis>> {
+    let params = &iface.fns.get(func)?.params;
+    let mut axes = Vec::new();
+    for (i, p) in params.iter().enumerate() {
+        if let Some(r) = spec.get(p) {
+            axes.push(Axis {
+                param: i,
+                field: None,
+                points: [r.lo, (r.lo + r.hi) / 2.0, r.hi],
+            });
+            continue;
+        }
+        // Record parameter: every `p.field` entry becomes its own axis.
+        let prefix = format!("{p}.");
+        let mut any = false;
+        for (path, r) in spec.iter() {
+            if let Some(field) = path.strip_prefix(&prefix) {
+                axes.push(Axis {
+                    param: i,
+                    field: Some(field.to_string()),
+                    points: [r.lo, (r.lo + r.hi) / 2.0, r.hi],
+                });
+                any = true;
+            }
+        }
+        if !any {
+            return None;
+        }
+    }
+    Some(axes)
+}
+
+/// Deterministic probe grid over the axes: the full 3^n cartesian product
+/// for small signatures, otherwise the three diagonals plus per-axis
+/// extremes with every other axis at its midpoint.
+fn probe_grid(axes: &[Axis]) -> Vec<Vec<usize>> {
+    let n = axes.len();
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    if n <= 4 {
+        let mut grid = vec![Vec::new()];
+        for _ in 0..n {
+            grid = grid
+                .into_iter()
+                .flat_map(|g| {
+                    (0..3).map(move |k| {
+                        let mut g = g.clone();
+                        g.push(k);
+                        g
+                    })
+                })
+                .collect();
+        }
+        return grid;
+    }
+    let mut grid: Vec<Vec<usize>> = (0..3).map(|k| vec![k; n]).collect();
+    for i in 0..n {
+        for k in [0usize, 2] {
+            let mut g = vec![1usize; n];
+            g[i] = k;
+            grid.push(g);
+        }
+    }
+    grid
+}
+
+/// Materialises one probe point as concrete call arguments.
+fn args_at(iface: &Interface, func: &str, axes: &[Axis], point: &[usize]) -> Vec<Value> {
+    let params = &iface.fns[func].params;
+    let mut args: Vec<Value> = params.iter().map(|_| Value::Num(0.0)).collect();
+    let mut records: Vec<Option<Vec<(String, Value)>>> = params.iter().map(|_| None).collect();
+    for (axis, &k) in axes.iter().zip(point) {
+        let v = Value::Num(axis.points[k]);
+        match &axis.field {
+            None => args[axis.param] = v,
+            Some(f) => records[axis.param]
+                .get_or_insert_with(Vec::new)
+                .push((f.clone(), v)),
+        }
+    }
+    for (i, fields) in records.into_iter().enumerate() {
+        if let Some(fields) = fields {
+            args[i] = Value::record(fields);
+        }
+    }
+    args
+}
+
+/// One certified function in the JSON artifact.
+#[derive(Debug, Clone, Serialize)]
+struct FnRow {
+    /// Function name.
+    func: String,
+    /// Certified lower bound, Joules.
+    lower_j: f64,
+    /// Certified upper bound, Joules.
+    upper_j: f64,
+    /// Monotonicity verdicts, rendered `target:direction`.
+    monotone: Vec<String>,
+    /// Concrete executions checked against the bound.
+    samples: u64,
+}
+
+/// One row of the JSON artifact.
+#[derive(Debug, Clone, Serialize)]
+struct TargetReport {
+    /// Gate target name.
+    target: String,
+    /// Certified interface name.
+    interface: String,
+    /// Interface fingerprint, `0x` hex.
+    fingerprint: String,
+    /// Per-function certificates.
+    fns: Vec<FnRow>,
+    /// Failures (empty when the target passes).
+    failures: Vec<String>,
+}
+
+/// Certifies one target and spot-checks the certificate against concrete
+/// executions. Returns the report row; failures are recorded on it.
+fn run_target(t: &Target) -> TargetReport {
+    let mut failures = Vec::new();
+    let cert: Certificate = match certify(&t.iface, &t.cal) {
+        Ok(c) => c,
+        Err(e) => {
+            return TargetReport {
+                target: t.name.to_string(),
+                interface: t.iface.name.clone(),
+                fingerprint: String::new(),
+                fns: Vec::new(),
+                failures: vec![format!("certification failed: {e}")],
+            }
+        }
+    };
+    if cert.fns.is_empty() {
+        failures.push("certificate is empty: no function has a declared domain".into());
+    }
+    let cfg = EvalConfig {
+        fuel: 500_000_000,
+        calibration: t.cal.clone(),
+        ..EvalConfig::default()
+    };
+    let env = EcvEnv::from_decls(&t.iface.ecvs);
+    let mut fns = Vec::new();
+    for (func, fc) in &cert.fns {
+        let lo = fc.bound.lower.as_joules();
+        let hi = fc.bound.upper.as_joules();
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            failures.push(format!(
+                "{func}: bound [{lo}, {hi}] is not finite and ordered"
+            ));
+        }
+        let mut samples = 0u64;
+        let spec = t.iface.input_specs.get(func).cloned().unwrap_or_default();
+        if let Some(axes) = axes_for(&t.iface, func, &spec) {
+            for point in probe_grid(&axes) {
+                let args = args_at(&t.iface, func, &axes, &point);
+                for seed in SEEDS {
+                    match evaluate_energy(&t.iface, func, &args, &env, seed, &cfg) {
+                        Ok(e) => {
+                            samples += 1;
+                            if !fc.bound.admits(e) {
+                                failures.push(format!(
+                                    "{func}: measured {} J at seed {seed} escapes certified [{lo}, {hi}] J",
+                                    e.as_joules()
+                                ));
+                            }
+                        }
+                        Err(e) => failures.push(format!(
+                            "{func}: evaluation failed inside the declared domain: {e}"
+                        )),
+                    }
+                }
+            }
+        }
+        fns.push(FnRow {
+            func: func.clone(),
+            lower_j: lo,
+            upper_j: hi,
+            monotone: fc
+                .monotone
+                .iter()
+                .map(|(k, m)| format!("{k}:{m}"))
+                .collect(),
+            samples,
+        });
+    }
+    TargetReport {
+        target: t.name.to_string(),
+        interface: cert.interface.clone(),
+        fingerprint: format!("{:#018x}", cert.fingerprint),
+        fns,
+        failures,
+    }
+}
+
+/// Replays the seeded bad-chunk corpus through the verifier; every entry
+/// must be rejected with its recorded diagnostic, byte for byte.
+fn run_corpus() -> (u64, Vec<String>) {
+    let mut failures = Vec::new();
+    let corpus = vm::testing::bad_chunk_corpus();
+    let n = corpus.len() as u64;
+    for bad in corpus {
+        match vm::verify(&bad.program) {
+            Ok(()) => failures.push(format!("corpus `{}`: verifier accepted it", bad.name)),
+            Err(errs) => {
+                let got = vm::render_errors(&errs);
+                if got != bad.expected {
+                    failures.push(format!(
+                        "corpus `{}`: diagnostic drifted\n  expected: {}\n  got:      {}",
+                        bad.name, bad.expected, got
+                    ));
+                }
+            }
+        }
+    }
+    (n, failures)
+}
+
+fn main() {
+    let mut reports = Vec::new();
+    let mut total_failures = 0usize;
+    for t in targets() {
+        let report = run_target(&t);
+        let status = if report.failures.is_empty() {
+            format!(
+                "ok ({} fn(s), {} sample(s))",
+                report.fns.len(),
+                report.fns.iter().map(|f| f.samples).sum::<u64>()
+            )
+        } else {
+            format!("{} failure(s)", report.failures.len())
+        };
+        println!("cert {:<45} {}", report.target, status);
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        total_failures += report.failures.len();
+        reports.push(report);
+    }
+
+    let (corpus_n, corpus_failures) = run_corpus();
+    let status = if corpus_failures.is_empty() {
+        format!("ok ({corpus_n} entries rejected, diagnostics stable)")
+    } else {
+        format!("{} failure(s)", corpus_failures.len())
+    };
+    println!("cert {:<45} {}", "vm: bad-chunk corpus", status);
+    for f in &corpus_failures {
+        println!("  {f}");
+    }
+    total_failures += corpus_failures.len();
+
+    let out = std::env::var("CERT_REPORT_OUT").unwrap_or_else(|_| "cert_report.json".to_string());
+    if !out.is_empty() {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        std::fs::write(&out, json).expect("write cert report");
+        eprintln!("cert report written to {out}");
+    }
+
+    if total_failures > 0 {
+        eprintln!("cert gate FAILED: {total_failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("cert gate passed: every bundled interface certifies and every sample is admitted");
+}

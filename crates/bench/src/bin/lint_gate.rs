@@ -13,11 +13,12 @@
 use ei_bench::table1::fitted_gpt2_interface;
 use ei_core::interface::Interface;
 use ei_core::sema::{self, LintOptions};
-use ei_core::units::Calibration;
+use ei_core::units::{Calibration, Energy};
 use ei_hw::cpu::big_little;
 use ei_hw::gpu::{rtx3070, rtx4090, GpuSim};
-use ei_hw::interfaces::{cpu_interface, gpu_interface, nic_interface};
+use ei_hw::interfaces::{cpu_interface, gpu_interface, gpu_interface_dvfs, nic_interface};
 use ei_hw::nic::{datacenter_nic, wifi_radio, NicSim};
+use ei_llm::batch_interface::gpt2_batch_interface;
 use ei_llm::interface::gpt2_interface;
 use ei_llm::model::{gpt2_medium, gpt2_small};
 use ei_sched::cluster::{bigmem_node, compute_node};
@@ -86,6 +87,24 @@ fn targets() -> Vec<Target> {
         vec![gpt2_interface(&gpt2_medium())],
         Calibration::empty(),
     ));
+
+    // The DVFS-aware pair behind E12: the batch-serving interface linked
+    // against the vendor's DVFS hardware interface. The `t_*` latency twins
+    // return abstract `sec`-unit results, deployed with the 1 J/s pricing
+    // E12 evaluates them under.
+    let sec_cal = || Calibration::from_pairs([("sec", Energy::joules(1.0))]);
+    out.push(target(
+        "hw: vendor GPU (DVFS)",
+        vec![gpu_interface_dvfs(&rtx4090())],
+        sec_cal(),
+    ));
+    for model in [gpt2_small(), gpt2_medium()] {
+        out.push(target(
+            "llm: GPT-2 batch serving over DVFS GPU",
+            vec![gpt2_batch_interface(&model), gpu_interface_dvfs(&rtx4090())],
+            sec_cal(),
+        ));
+    }
 
     // The microbenchmark-extracted interface behind Table 1 (§5), linked.
     let (linked, _r2) = fitted_gpt2_interface(&rtx4090());

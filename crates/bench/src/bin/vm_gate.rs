@@ -14,6 +14,7 @@
 //!
 //! Override the artifact path with `BENCH_ENGINE_OUT` (empty to skip).
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use ei_bench::table1::{fitted_gpt2_interface, predict_batch_mode, sweep};
@@ -39,8 +40,17 @@ struct Row {
     /// Compiled cost per Monte-Carlo sample (ns), including the
     /// amortized compile.
     vm_ns_per_sample: f64,
+    /// Steady-state optimized bytecode execution (ns/run, compile and
+    /// optimization excluded).
+    vm_opt_ns_per_run: f64,
+    /// Steady-state unoptimized bytecode execution (ns/run, compile
+    /// excluded) — the pre-optimization baseline.
+    vm_unopt_ns_per_run: f64,
     /// `interp_ns_per_sample / vm_ns_per_sample`.
     speedup: f64,
+    /// `vm_unopt_ns_per_run / vm_opt_ns_per_run`: what the verified
+    /// optimization passes alone buy at steady state on this point.
+    opt_speedup: f64,
 }
 
 /// The `BENCH_engine.json` artifact.
@@ -56,6 +66,9 @@ struct Report {
     geomean_speedup: f64,
     /// Minimum per-point speedup.
     min_speedup: f64,
+    /// Geometric mean of per-point optimizer-only speedups (optimized
+    /// vs unoptimized bytecode, same VM).
+    geomean_opt_speedup: f64,
     /// Whether every compiled output was bitwise-identical to the
     /// interpreted output (the gate fails otherwise).
     outputs_identical: bool,
@@ -89,28 +102,64 @@ fn main() {
         }
     }
 
-    // Gate 2 + timing: the Monte-Carlo driver per sweep point.
+    // Gate 2 + timing: the Monte-Carlo driver per sweep point, plus the
+    // optimizer-only steady-state comparison on shared compiled programs.
+    let unoptimized = ei_core::vm::compile(&linked).expect("Table 1 interface compiles");
+    let optimized = ei_core::vm::optimize(&unoptimized);
     let mut rows = Vec::new();
     for &(prompt, gen) in &points {
         let args = [Value::Num(prompt as f64), Value::Num(gen as f64)];
-        let time = |mode: ExecMode| {
-            let cfg = table1_config(mode);
+        let time = |mode: ExecMode, optimize: bool| {
+            let cfg = EvalConfig {
+                optimize,
+                ..table1_config(mode)
+            };
             let t = Instant::now();
             let dist = monte_carlo(&linked, "e_generate", &args, &env, MC_SAMPLES, 7, &cfg)
                 .expect("Table 1 workload evaluates");
             (t.elapsed().as_nanos() as f64 / MC_SAMPLES as f64, dist)
         };
-        let (interp_ns, interp_dist) = time(ExecMode::TreeWalk);
-        let (vm_ns, vm_dist) = time(ExecMode::Compiled);
+        let (interp_ns, interp_dist) = time(ExecMode::TreeWalk, true);
+        let (vm_ns, vm_dist) = time(ExecMode::Compiled, true);
         // `EnergyDist` equality is exact f64 sample equality — for
         // finite Joule values that is bit equality.
         if interp_dist != vm_dist {
             identical = false;
             eprintln!("MISMATCH monte_carlo e_generate({prompt}, {gen}): sample vectors differ");
         }
+
+        // Optimizer-only delta at steady state: the same chunks with and
+        // without the verified dataflow passes, compile excluded, on the
+        // same VM. Outputs must stay bitwise-identical run for run.
+        let assignment = BTreeMap::new();
+        let cfg = table1_config(ExecMode::Compiled);
+        let steady = |program: &ei_core::vm::Program| {
+            let mut machine = ei_core::vm::Vm::new(program);
+            let warm = machine
+                .run("e_generate", &args, &assignment, &cfg)
+                .expect("Table 1 workload evaluates");
+            let t = Instant::now();
+            for _ in 0..MC_SAMPLES {
+                let v = machine
+                    .run("e_generate", &args, &assignment, &cfg)
+                    .expect("Table 1 workload evaluates");
+                assert_eq!(v, warm, "bytecode run is not deterministic");
+            }
+            (t.elapsed().as_nanos() as f64 / MC_SAMPLES as f64, warm)
+        };
+        let (unopt_ns, unopt_v) = steady(&unoptimized);
+        let (opt_ns, opt_v) = steady(&optimized);
+        if unopt_v != opt_v {
+            identical = false;
+            eprintln!(
+                "MISMATCH steady-state e_generate({prompt}, {gen}): optimized and unoptimized bytecode disagree"
+            );
+        }
+
         let speedup = interp_ns / vm_ns;
+        let opt_speedup = unopt_ns / opt_ns;
         println!(
-            "e_generate({prompt:>3}, {gen:>3}): interp {:>12.0} ns/sample, vm {:>9.0} ns/sample, speedup {speedup:>7.2}x",
+            "e_generate({prompt:>3}, {gen:>3}): interp {:>12.0} ns/sample, vm {:>9.0} ns/sample, speedup {speedup:>7.2}x (opt alone {opt_speedup:>5.2}x)",
             interp_ns, vm_ns
         );
         rows.push(Row {
@@ -118,23 +167,29 @@ fn main() {
             gen,
             interp_ns_per_sample: interp_ns,
             vm_ns_per_sample: vm_ns,
+            vm_opt_ns_per_run: opt_ns,
+            vm_unopt_ns_per_run: unopt_ns,
             speedup,
+            opt_speedup,
         });
     }
 
     let geomean_speedup =
         (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
     let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    let geomean_opt_speedup =
+        (rows.iter().map(|r| r.opt_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
     let report = Report {
         workload: "table1: linked GPT-2 e_generate over fitted rtx4090".to_string(),
         mc_samples: MC_SAMPLES as u64,
         rows,
         geomean_speedup,
         min_speedup,
+        geomean_opt_speedup,
         outputs_identical: identical,
     };
     println!(
-        "speedup: geomean {geomean_speedup:.2}x, min {min_speedup:.2}x; outputs identical: {identical}"
+        "speedup: geomean {geomean_speedup:.2}x (optimizer alone {geomean_opt_speedup:.2}x), min {min_speedup:.2}x; outputs identical: {identical}"
     );
 
     let out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());

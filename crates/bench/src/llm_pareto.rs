@@ -23,9 +23,10 @@
 //! almost no latency cost) while batched prefill is compute-bound (the p99
 //! token — a first token — pays for it), so the SLO prices the clock.
 
+use ei_core::analysis::worst_case::worst_case;
 use ei_core::compose::link;
 use ei_core::ecv::EcvEnv;
-use ei_core::interface::Interface;
+use ei_core::interface::{InputSpec, Interface};
 use ei_core::interp::{evaluate_energy, EvalConfig, ExecMode};
 use ei_core::units::{Calibration, Energy};
 use ei_core::value::Value;
@@ -128,6 +129,15 @@ pub struct PointRow {
     pub p99_err_pct: f64,
     /// On the predicted energy/p99 Pareto frontier of its model.
     pub on_frontier: bool,
+    /// Certified lower bound on J/token at this operating point
+    /// ([`ei_core::analysis::worst_case`] over the point input domain).
+    pub cert_j_per_token_lo: f64,
+    /// Certified upper bound on J/token.
+    pub cert_j_per_token_hi: f64,
+    /// Certified lower bound on the p99 token latency, ms.
+    pub cert_p99_lo_ms: f64,
+    /// Certified upper bound on the p99 token latency, ms.
+    pub cert_p99_hi_ms: f64,
 }
 
 /// The SLO-aware operating-point choice for one model.
@@ -189,6 +199,13 @@ pub struct ParetoReport {
     pub all_points_within_tol: bool,
     /// Per-model SLO optimizer rows.
     pub slo: Vec<SloRow>,
+    /// Configs the SLO optimizer discarded on certified bounds alone —
+    /// some other config certifiably meets the SLO at certifiably lower
+    /// J/token, so these can never be optimal.
+    pub cert_pruned: u64,
+    /// Every point's predicted J/token and p99 lie inside its certified
+    /// bounds (the certificates explain the sweep, not just decorate it).
+    pub cert_bounds_contain_predictions: bool,
     /// One ground-truth point re-served bit-identically.
     pub replay_identical: bool,
 }
@@ -292,6 +309,59 @@ fn predict_point(linked: &Interface, batch: u64, freq: f64, cfg: &E12Config) -> 
     }
 }
 
+/// Certified bounds for one operating point, from the interval-based
+/// bound certifier over point input domains.
+struct CertBounds {
+    /// `[lo, hi]` on J/token.
+    j_per_token: (f64, f64),
+    /// `[lo, hi]` on the p99 token latency, ms.
+    p99_ms: (f64, f64),
+}
+
+/// Certifies one `(batch, freq)` operating point of the linked interface:
+/// a guaranteed J/token bound from `e_wave`, and a guaranteed p99 bound
+/// from the iteration-duration functions. The p99 token of a lockstep
+/// wave is (up to nearest-rank ties) its slowest iteration, so it is
+/// bounded above by the larger of the prefill and decode upper bounds and
+/// below by the smaller of their lower bounds.
+fn certify_point(linked: &Interface, batch: u64, freq: f64, cfg: &E12Config) -> CertBounds {
+    let b = batch as f64;
+    let p = cfg.prompt_len as f64;
+    let g = cfg.gen_len as f64;
+    let espec = InputSpec::new()
+        .range("batch", b, b)
+        .range("p", p, p)
+        .range("g", g, g)
+        .range("freq", freq, freq);
+    let e = worst_case(linked, "e_wave", &espec, &Calibration::empty())
+        .expect("e_wave certifies at a point domain");
+    let toks = (batch * cfg.gen_len) as f64;
+
+    let sec = Calibration::from_pairs([("sec", Energy::joules(1.0))]);
+    let pspec = InputSpec::new()
+        .range("batch", b, b)
+        .range("p", p, p)
+        .range("freq", freq, freq);
+    let pre = worst_case(linked, "t_prefill_iter", &pspec, &sec)
+        .expect("t_prefill_iter certifies at a point domain");
+    let (mut lat_lo, mut lat_hi) = (pre.lower.as_joules(), pre.upper.as_joules());
+    if cfg.gen_len > 1 {
+        // One decode bound covers every swept context length at once.
+        let dspec = InputSpec::new()
+            .range("batch", b, b)
+            .range("ctx", p + 1.0, p + g - 1.0)
+            .range("freq", freq, freq);
+        let dec = worst_case(linked, "t_decode_iter", &dspec, &sec)
+            .expect("t_decode_iter certifies over the context range");
+        lat_lo = lat_lo.min(dec.lower.as_joules());
+        lat_hi = lat_hi.max(dec.upper.as_joules());
+    }
+    CertBounds {
+        j_per_token: (e.lower.as_joules() / toks, e.upper.as_joules() / toks),
+        p99_ms: (lat_lo * 1e3, lat_hi * 1e3),
+    }
+}
+
 /// Marks the predicted Pareto frontier (min J/token vs min p99) within
 /// each model's sweep: a point is dominated if another point of the same
 /// model is no worse on both axes and better on one.
@@ -328,6 +398,7 @@ pub fn run_with(cfg: &E12Config) -> ParetoReport {
         for &batch in &cfg.batches {
             for &freq in &cfg.freqs {
                 let pred = predict_point(&linked, batch, freq, cfg);
+                let cert = certify_point(&linked, batch, freq, cfg);
                 let (truth, clock_mhz) = serve_point(model, batch, freq, cfg);
                 let true_j_per_token = truth.energy.as_joules() / truth.tokens as f64;
                 let true_pool_ms: Vec<f64> = truth
@@ -353,6 +424,10 @@ pub fn run_with(cfg: &E12Config) -> ParetoReport {
                     p50_err_pct: err(pred.p50_ms, true_p50_ms),
                     p99_err_pct: err(pred.p99_ms, true_p99_ms),
                     on_frontier: false,
+                    cert_j_per_token_lo: cert.j_per_token.0,
+                    cert_j_per_token_hi: cert.j_per_token.1,
+                    cert_p99_lo_ms: cert.p99_ms.0,
+                    cert_p99_hi_ms: cert.p99_ms.1,
                 });
             }
         }
@@ -363,6 +438,7 @@ pub fn run_with(cfg: &E12Config) -> ParetoReport {
     // operator would have); its choice is then judged on measurements.
     let max_batch = *cfg.batches.iter().max().expect("non-empty batch axis");
     let mut slo = Vec::new();
+    let mut cert_pruned = 0u64;
     for model in &cfg.models {
         let of_model: Vec<&PointRow> = points.iter().filter(|p| p.model == model.name).collect();
         let default = of_model
@@ -370,9 +446,21 @@ pub fn run_with(cfg: &E12Config) -> ParetoReport {
             .find(|p| p.batch == max_batch && p.freq == 1.0)
             .expect("default point swept");
         let slo_p99_ms = cfg.slo_factor * default.pred_p99_ms;
+        // Certified pruning: a config whose certified *lower* J/token is
+        // above another config's certified *upper* — where that other
+        // config certifiably meets the SLO — can never be the optimum,
+        // whatever the predictions say. The scan below never has to look
+        // at it. (Bounds contain predictions, so pruning cannot change
+        // the choice — it removes work, not information.)
+        let dominated = |p: &PointRow| {
+            of_model.iter().any(|q| {
+                q.cert_j_per_token_hi < p.cert_j_per_token_lo && q.cert_p99_hi_ms <= slo_p99_ms
+            })
+        };
+        cert_pruned += of_model.iter().filter(|p| dominated(p)).count() as u64;
         let chosen = of_model
             .iter()
-            .filter(|p| p.pred_p99_ms <= slo_p99_ms)
+            .filter(|p| p.pred_p99_ms <= slo_p99_ms && !dominated(p))
             .min_by(|a, b| {
                 a.pred_j_per_token
                     .partial_cmp(&b.pred_j_per_token)
@@ -406,6 +494,13 @@ pub fn run_with(cfg: &E12Config) -> ParetoReport {
         && a.token_latency_ns == b.token_latency_ns
         && a.counters == b.counters;
 
+    let cert_bounds_contain_predictions = points.iter().all(|p| {
+        p.pred_j_per_token >= p.cert_j_per_token_lo
+            && p.pred_j_per_token <= p.cert_j_per_token_hi
+            && p.pred_p99_ms >= p.cert_p99_lo_ms
+            && p.pred_p99_ms <= p.cert_p99_hi_ms
+    });
+
     let max_j_err_pct = points.iter().map(|p| p.j_err_pct).fold(0.0, f64::max);
     let max_p99_err_pct = points.iter().map(|p| p.p99_err_pct).fold(0.0, f64::max);
     let all_points_within_tol = points
@@ -426,6 +521,8 @@ pub fn run_with(cfg: &E12Config) -> ParetoReport {
         all_points_within_tol,
         points,
         slo,
+        cert_pruned,
+        cert_bounds_contain_predictions,
         replay_identical,
     }
 }
@@ -489,6 +586,10 @@ pub fn render(r: &ParetoReport) -> String {
         ));
     }
     out.push_str(&format!(
+        "Certified bounds contain all predictions: {}; SLO configs pruned by certificate: {}.\n",
+        r.cert_bounds_contain_predictions, r.cert_pruned
+    ));
+    out.push_str(&format!(
         "Ground-truth replay bit-identical: {}.\n",
         r.replay_identical
     ));
@@ -520,6 +621,10 @@ mod tests {
         );
         assert!(r.frontier_size >= 1);
         assert!(r.replay_identical);
+        assert!(
+            r.cert_bounds_contain_predictions,
+            "a prediction escaped its certified bound"
+        );
         for s in &r.slo {
             assert!(s.meets_slo, "{}: chosen point violates its SLO", s.model);
             assert!(
@@ -562,5 +667,13 @@ mod tests {
             s.savings_pct
         );
         assert!(s.chosen_freq < 1.0, "the win comes from the DVFS axis");
+        assert!(r.cert_bounds_contain_predictions);
+        // Twenty configs on one model with tight point-domain bounds:
+        // the certificates alone must rule out a real share of them.
+        assert!(
+            r.cert_pruned >= 5,
+            "certified pruning should discard dominated configs, pruned {}",
+            r.cert_pruned
+        );
     }
 }

@@ -88,19 +88,86 @@ impl Interval {
     }
 
     /// Interval quotient; errors when the divisor may be zero.
+    ///
+    /// The endpoints are computed with *direct* divisions, not as
+    /// `x · (1/y)`: f64 division is correctly rounded and monotone in
+    /// both operands, so the endpoint quotients genuinely bracket every
+    /// representable `x / y` — in particular, a point ÷ point interval is
+    /// exactly the concrete quotient, which the bound certifier relies on
+    /// (the double rounding of multiply-by-reciprocal can put the true
+    /// quotient a ulp outside the product).
     pub fn div(&self, o: &Interval) -> Result<Interval> {
         if o.contains(0.0) {
             return Err(Error::Analysis {
                 msg: "possible division by zero under worst-case analysis".into(),
             });
         }
-        let inv = Interval::new(1.0 / o.hi, 1.0 / o.lo);
-        Ok(self.mul(&inv))
+        let c = [
+            self.lo / o.lo,
+            self.lo / o.hi,
+            self.hi / o.lo,
+            self.hi / o.hi,
+        ];
+        Ok(Interval::new(
+            c.iter().cloned().fold(f64::INFINITY, f64::min),
+            c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        ))
     }
 
     /// Applies a monotone non-decreasing function to both ends.
+    ///
+    /// **Soundness caveat:** the image of an interval under a
+    /// *non-monotone* function is not bracketed by its endpoint images —
+    /// `x²` over `[-1, 2]` is `[0, 4]`, not `[1, 4]`. Callers must either
+    /// prove monotonicity over the whole interval (e.g. by pre-clamping
+    /// the domain) or use an exact range evaluator such as [`powi`] or
+    /// [`map_quadratic`].
+    ///
+    /// [`powi`]: Interval::powi
+    /// [`map_quadratic`]: Interval::map_quadratic
     pub fn map_monotone(&self, f: impl Fn(f64) -> f64) -> Interval {
         Interval::new(f(self.lo), f(self.hi))
+    }
+
+    /// Exact range of `x^k` for a non-negative integer exponent, sound
+    /// for intervals spanning zero (where even powers are non-monotone).
+    pub fn powi(&self, k: u32) -> Interval {
+        if k == 0 {
+            return Interval::point(1.0);
+        }
+        let (plo, phi) = (self.lo.powi(k as i32), self.hi.powi(k as i32));
+        if k % 2 == 1 || self.lo >= 0.0 {
+            // Odd powers are monotone everywhere; even powers are
+            // monotone non-decreasing on [0, inf).
+            Interval::new(plo, phi)
+        } else if self.hi <= 0.0 {
+            // Even power, monotone non-increasing on (-inf, 0].
+            Interval::new(phi, plo)
+        } else {
+            // Even power over an interval spanning zero: the vertex at 0
+            // is the minimum.
+            Interval::new(0.0, plo.max(phi))
+        }
+    }
+
+    /// Exact range of the quadratic `c0 + c1·x + c2·x²` over the
+    /// interval, including the vertex `-c1 / (2·c2)` when it falls
+    /// inside — the case endpoint-only evaluation gets wrong (e.g. DVFS
+    /// voltage-scaling polynomials swept across their minimum).
+    pub fn map_quadratic(&self, c0: f64, c1: f64, c2: f64) -> Interval {
+        let f = |x: f64| c0 + c1 * x + c2 * x * x;
+        let (a, b) = (f(self.lo), f(self.hi));
+        let mut lo = a.min(b);
+        let mut hi = a.max(b);
+        if c2 != 0.0 {
+            let vertex = -c1 / (2.0 * c2);
+            if vertex > self.lo && vertex < self.hi {
+                let v = f(vertex);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        Interval::new(lo, hi)
     }
 }
 
@@ -220,6 +287,17 @@ impl AbsEnergy {
     /// Component-wise join.
     pub fn join(&self, o: &AbsEnergy) -> AbsEnergy {
         self.zip(o, |a, b| a.join(b))
+    }
+
+    /// Divides every component by an interval divisor, with the same
+    /// direct-quotient endpoints as [`Interval::div`].
+    pub fn div_num(&self, k: &Interval) -> Result<AbsEnergy> {
+        let joules = self.joules.div(k)?;
+        let mut abstracts = BTreeMap::new();
+        for (u, i) in &self.abstracts {
+            abstracts.insert(u.clone(), i.div(k)?);
+        }
+        Ok(AbsEnergy { joules, abstracts })
     }
 
     /// Scales every component by an interval factor.
@@ -778,7 +856,7 @@ fn join_locals(
     Ok(out)
 }
 
-fn abs_binary(op: BinOp, a: AbsValue, b: AbsValue) -> Result<AbsValue> {
+pub(crate) fn abs_binary(op: BinOp, a: AbsValue, b: AbsValue) -> Result<AbsValue> {
     use BinOp::*;
     match op {
         Add | Sub => match (a, b) {
@@ -807,16 +885,7 @@ fn abs_binary(op: BinOp, a: AbsValue, b: AbsValue) -> Result<AbsValue> {
         },
         Div => match (a, b) {
             (AbsValue::Num(x), AbsValue::Num(y)) => Ok(AbsValue::Num(x.div(&y)?)),
-            (AbsValue::Energy(e), AbsValue::Num(k)) => {
-                if k.contains(0.0) {
-                    Err(Error::Analysis {
-                        msg: "possible division by zero under worst-case analysis".into(),
-                    })
-                } else {
-                    let inv = Interval::new(1.0 / k.hi, 1.0 / k.lo);
-                    Ok(AbsValue::Energy(e.scale(&inv)))
-                }
-            }
+            (AbsValue::Energy(e), AbsValue::Num(k)) => Ok(AbsValue::Energy(e.div_num(&k)?)),
             (AbsValue::Energy(x), AbsValue::Energy(y)) => {
                 if !x.abstracts.is_empty() || !y.abstracts.is_empty() {
                     return Err(Error::Analysis {
@@ -931,7 +1000,7 @@ fn abs_compare_eq(a: &AbsValue, b: &AbsValue) -> Result<AbsBool> {
     }
 }
 
-fn abs_builtin(b: Builtin, args: &[AbsValue]) -> Result<AbsValue> {
+pub(crate) fn abs_builtin(b: Builtin, args: &[AbsValue]) -> Result<AbsValue> {
     if args.len() != b.arity() {
         return Err(Error::Arity {
             func: b.name().to_string(),
@@ -1022,6 +1091,12 @@ fn abs_builtin(b: Builtin, args: &[AbsValue]) -> Result<AbsValue> {
             }
             let e = exp.lo;
             if base.lo < 0.0 {
+                // Negative bases only make sense with integer exponents;
+                // there the exact `powi` range evaluator handles the
+                // non-monotone even-power case soundly.
+                if e >= 0.0 && e.fract() == 0.0 && e <= u32::MAX as f64 {
+                    return Ok(AbsValue::Num(base.powi(e as u32)));
+                }
                 return Err(Error::Analysis {
                     msg: "pow with possibly negative base is not supported".into(),
                 });
@@ -1072,6 +1147,66 @@ mod tests {
         );
         assert_eq!(a.join(&b), Interval::new(-1.0, 3.0));
         assert!(Interval::point(2.0).is_point());
+    }
+
+    #[test]
+    fn powi_is_exact_across_zero() {
+        // Even powers are non-monotone over zero-spanning intervals:
+        // endpoint mapping would report [1, 4] for x² over [-1, 2].
+        assert_eq!(Interval::new(-1.0, 2.0).powi(2), Interval::new(0.0, 4.0));
+        assert_eq!(Interval::new(-3.0, -1.0).powi(2), Interval::new(1.0, 9.0));
+        // Odd powers are monotone everywhere.
+        assert_eq!(Interval::new(-2.0, 1.0).powi(3), Interval::new(-8.0, 1.0));
+        // x^0 is identically 1, even over zero.
+        assert_eq!(Interval::new(-5.0, 5.0).powi(0), Interval::point(1.0));
+    }
+
+    #[test]
+    fn map_quadratic_covers_the_vertex() {
+        // A DVFS-style power curve swept across its minimum: the vertex
+        // of 0.3 - 0.8·f + f² sits at f = 0.4, strictly inside the
+        // [0.1, 1.0] frequency range. Endpoint-only evaluation would
+        // report a lower bound of 0.23 and miss the true minimum 0.14.
+        let f = Interval::new(0.1, 1.0);
+        let r = f.map_quadratic(0.3, -0.8, 1.0);
+        assert!((r.lo - 0.14).abs() < 1e-12, "vertex minimum: {r:?}");
+        assert!((r.hi - 0.5).abs() < 1e-12, "endpoint maximum: {r:?}");
+        // With the vertex outside the interval the quadratic is monotone
+        // and the endpoints are exact.
+        let g = Interval::new(0.5, 1.0);
+        let s = g.map_quadratic(0.3, -0.8, 1.0);
+        assert!((s.lo - (0.3 - 0.4 + 0.25)).abs() < 1e-12);
+        assert!((s.hi - 0.5).abs() < 1e-12);
+        // Degenerate quadratic (c2 = 0): plain affine endpoints.
+        assert_eq!(
+            Interval::new(0.0, 2.0).map_quadratic(1.0, 2.0, 0.0),
+            Interval::new(1.0, 5.0)
+        );
+    }
+
+    #[test]
+    fn division_endpoints_are_exact_quotients() {
+        // Point ÷ point must be *exactly* the concrete quotient — the
+        // bound certifier relies on it. Computing x·(1/y) instead double-
+        // rounds and can land one ulp off the true quotient; first find a
+        // pair where the two disagree to show the hazard is real.
+        let mut witnessed = false;
+        for num in 1..60u32 {
+            for den in 1..60u32 {
+                let (x, y) = (f64::from(num) * 0.1, f64::from(den) * 0.3);
+                let exact = x / y;
+                witnessed |= (x * (1.0 / y)).to_bits() != exact.to_bits();
+                let q = Interval::point(x).div(&Interval::point(y)).unwrap();
+                assert!(q.is_point(), "{x}/{y} must stay a point");
+                assert_eq!(q.lo.to_bits(), exact.to_bits(), "{x}/{y}");
+                // And the concrete quotient never escapes a widened box.
+                let wide = Interval::new(x * 0.5, x * 2.0)
+                    .div(&Interval::new(y * 0.5, y * 2.0))
+                    .unwrap();
+                assert!(wide.contains(exact), "{exact} escapes {wide:?}");
+            }
+        }
+        assert!(witnessed, "expected at least one double-rounding witness");
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! - [`constant_energy`]: side-channel freedom checking (§4.1).
 //! - [`compat`]: envelope compatibility between spec and implementation
 //!   interfaces (§4.1).
+//! - [`cert`]: sound per-function energy certificates — guaranteed
+//!   min/max bounds plus monotonicity verdicts (`eic certify`).
 
+pub mod cert;
 pub mod compat;
 pub mod constant_energy;
 pub mod interval;

@@ -12,7 +12,7 @@ use crate::interface::{InputSpec, Interface};
 use crate::units::{Calibration, Energy};
 
 /// A sound bound on the energy of one interface function.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct EnergyBound {
     /// No execution consumes less than this.
     pub lower: Energy,

@@ -7,6 +7,7 @@
 //! eic eval   <file.eil> <fn> [k=v...]        evaluate (exact or Monte Carlo)
 //! eic paths  <file.eil> <fn> [k=v...]        per-path energies and probabilities
 //! eic bound  <file.eil> <fn> [k=lo..hi...]   sound worst-case bound
+//! eic certify <file.eil> [--fn f k=lo..hi...] sound bound + monotonicity certificate
 //! ```
 //!
 //! Scalar arguments are `name=3.5`; record fields are `req.size=64` (grouped
@@ -21,6 +22,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use ei_core::analysis::cert::certify;
 use ei_core::analysis::paths::enumerate_paths;
 use ei_core::analysis::worst_case::worst_case;
 use ei_core::ecv::EcvEnv;
@@ -134,6 +136,11 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("worst-case bound: {} .. {}", bound.lower, bound.upper);
             Ok(())
         }
+        "certify" => {
+            let json = run_certify(&args[1..])?;
+            println!("{json}");
+            Ok(())
+        }
         _ => Err(usage()),
     }
 }
@@ -208,6 +215,85 @@ fn lint(raw: &[String]) -> Result<String, String> {
         ));
     }
     Ok(report)
+}
+
+/// `eic certify <file.eil> [--fn f] [k=lo..hi...] [--cal unit=J]`.
+///
+/// With `--fn f`, the `k=lo..hi` ranges declare `f`'s input space before
+/// certifying (repeat the whole invocation per function to certify
+/// several). Without `--fn`, only zero-parameter functions certify —
+/// a bound needs a declared domain. The certificate prints as canonical
+/// JSON: byte-for-byte reproducible for the same interface and spec.
+fn run_certify(raw: &[String]) -> Result<String, String> {
+    let mut cal = Calibration::empty();
+    let mut func: Option<&str> = None;
+    let mut ranges: Vec<(String, f64, f64)> = Vec::new();
+    let mut path: Option<&str> = None;
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fn" => {
+                func = Some(it.next().ok_or("--fn needs a function name")?);
+            }
+            "--cal" => {
+                let spec = it.next().ok_or("--cal needs unit=joules")?;
+                let (unit, j) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--cal expects unit=joules, got `{spec}`"))?;
+                let j: f64 = j.parse().map_err(|_| format!("bad number in `{spec}`"))?;
+                cal.set(unit, ei_core::units::Energy::joules(j));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("certify: unknown flag `{other}`"))
+            }
+            other if other.contains("..") => {
+                let (key, range) = other
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected k=lo..hi, got `{other}`"))?;
+                let (lo, hi) = range
+                    .split_once("..")
+                    .ok_or_else(|| format!("expected lo..hi in `{other}`"))?;
+                let lo: f64 = lo.parse().map_err(|_| format!("bad number in `{other}`"))?;
+                let hi: f64 = hi.parse().map_err(|_| format!("bad number in `{other}`"))?;
+                if lo > hi {
+                    return Err(format!("empty range in `{other}`: {lo} > {hi}"));
+                }
+                ranges.push((key.to_string(), lo, hi));
+            }
+            other => {
+                if let Some(first) = path {
+                    return Err(format!(
+                        "certify: two input files (`{first}` and `{other}`)"
+                    ));
+                }
+                path = Some(other);
+            }
+        }
+    }
+    let mut iface = load(path.ok_or_else(usage)?)?;
+    match func {
+        Some(f) => {
+            iface.get_fn(f).map_err(|e| e.to_string())?;
+            let mut spec = InputSpec::new();
+            for (key, lo, hi) in &ranges {
+                spec = spec.range(key.clone(), *lo, *hi);
+            }
+            iface.set_input_spec(f, spec);
+        }
+        None if !ranges.is_empty() => {
+            return Err("certify: k=lo..hi ranges need --fn <name>".to_string());
+        }
+        None => {}
+    }
+    let cert = certify(&iface, &cal).map_err(|e| e.to_string())?;
+    if cert.fns.is_empty() {
+        return Err(
+            "certify: nothing to certify — declare a domain with --fn f k=lo..hi \
+             (only zero-parameter functions certify without one)"
+                .to_string(),
+        );
+    }
+    Ok(cert.to_canonical_json())
 }
 
 fn load(path: &str) -> Result<Interface, String> {
@@ -285,9 +371,10 @@ fn parse_args(
 }
 
 fn usage() -> String {
-    "usage: eic <check|lint|fmt|eval|paths|bound> <file.eil> [fn] [args...]\n\
+    "usage: eic <check|lint|fmt|eval|paths|bound|certify> <file.eil> [fn] [args...]\n\
      \x20 lint args:        [--deny warnings] [--format json|text] [--cal unit=J]\n\
      \x20 eval/paths args:  name=3.5  req.size=64  [--seed N] [--samples N] [--cal unit=J]\n\
-     \x20 bound args:       name=lo..hi  req.size=lo..hi"
+     \x20 bound args:       name=lo..hi  req.size=lo..hi\n\
+     \x20 certify args:     [--fn f name=lo..hi...] [--cal unit=J]"
         .to_string()
 }

@@ -66,6 +66,11 @@ pub struct EvalConfig {
     /// Engine selection (not part of the eval-cache key: engines are
     /// result-identical by contract).
     pub mode: ExecMode,
+    /// Run the verifier-gated dataflow optimizer ([`vm::optimize`]) over
+    /// compiled programs. Observationally irrelevant by the same contract
+    /// as `mode` (and likewise outside the eval-cache key); exposed so
+    /// differential tests can pin either engine variant.
+    pub optimize: bool,
 }
 
 impl Default for EvalConfig {
@@ -75,6 +80,7 @@ impl Default for EvalConfig {
             max_depth: DEFAULT_MAX_DEPTH,
             calibration: Calibration::empty(),
             mode: ExecMode::Auto,
+            optimize: true,
         }
     }
 }
@@ -566,7 +572,10 @@ pub fn eval_with_assignment(
         // One-shot compiled evaluation; callers that evaluate repeatedly
         // should go through a sampling driver or the eval cache, which
         // amortize the compile.
-        let program = vm::compile(iface)?;
+        let mut program = vm::compile(iface)?;
+        if config.optimize {
+            program = vm::optimize(&program);
+        }
         let mut machine = vm::Vm::new(&program);
         return vm_eval(&mut machine, func, args, ecvs, config);
     }
@@ -615,11 +624,12 @@ fn vm_eval(
 /// under [`ExecMode::Auto`], fall back to the tree-walk if compilation
 /// declines), or `None` to walk the tree per sample.
 fn prepare_engine(iface: &Interface, config: &EvalConfig) -> Result<Option<vm::Program>> {
-    match config.mode {
-        ExecMode::TreeWalk => Ok(None),
-        ExecMode::Compiled => Ok(Some(vm::compile(iface)?)),
-        ExecMode::Auto => Ok(vm::compile(iface).ok()),
-    }
+    let program = match config.mode {
+        ExecMode::TreeWalk => return Ok(None),
+        ExecMode::Compiled => Some(vm::compile(iface)?),
+        ExecMode::Auto => vm::compile(iface).ok(),
+    };
+    Ok(program.map(|p| if config.optimize { vm::optimize(&p) } else { p }))
 }
 
 /// Evaluates `iface.func(args)` once, sampling unpinned ECVs with `seed`.

@@ -105,6 +105,17 @@ pub fn compile(iface: &Interface) -> Result<Program> {
         fingerprint: 0,
     };
     program.fingerprint = fingerprint_program(&program);
+    // Every compiled artifact is statically verified before it can
+    // execute: a verifier failure here means a lowering bug, reported at
+    // compile time instead of as a runtime panic or divergence.
+    if let Err(errs) = super::verify::verify(&program) {
+        return Err(Error::Analysis {
+            msg: format!(
+                "bytecode verification failed:\n{}",
+                super::verify::render_errors(&errs)
+            ),
+        });
+    }
     Ok(program)
 }
 
@@ -151,7 +162,7 @@ impl PathState {
 /// distinctions `Value: PartialEq` either blurs (NaN) or the fold must not
 /// blur (signed zero), since folded constants must be indistinguishable from
 /// interpreter-computed values.
-fn bit_eq(a: &Value, b: &Value) -> bool {
+pub(crate) fn bit_eq(a: &Value, b: &Value) -> bool {
     match (a, b) {
         (Value::Num(x), Value::Num(y)) => x.to_bits() == y.to_bits(),
         (Value::Bool(x), Value::Bool(y)) => x == y,

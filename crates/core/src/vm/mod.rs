@@ -33,11 +33,350 @@ mod chunk;
 mod disasm;
 mod exec;
 mod lower;
+mod opt;
+mod verify;
 
 pub use chunk::{Chunk, Instr, Program};
 pub use disasm::disassemble;
 pub use exec::Vm;
 pub use lower::{compile, UNROLL_BODY_BUDGET, UNROLL_MAX_TRIPS};
+pub use opt::optimize;
+pub use verify::{render_errors, verify, verify_against, VerifyError};
+
+/// Ill-formed bytecode fixtures for verifier testing. Programs cannot be
+/// constructed outside this crate (the fingerprint field is private), so
+/// the corpus is built here and consumed by both the unit tests below and
+/// the `cert_gate` CI binary.
+#[doc(hidden)]
+pub mod testing {
+    use std::collections::BTreeSet;
+
+    use crate::ast::BinOp;
+    use crate::parser::parse;
+
+    use super::chunk::{Chunk, Instr, Program};
+
+    /// One deliberately ill-formed program with its expected (stable)
+    /// verifier rendering.
+    pub struct BadChunk {
+        /// Corpus entry name.
+        pub name: &'static str,
+        /// The ill-formed program.
+        pub program: Program,
+        /// Exact output of [`super::render_errors`] on the failure list.
+        pub expected: String,
+    }
+
+    fn chunk(arity: u32, n_regs: u32, code: Vec<Instr>) -> Chunk {
+        let fuel = vec![0; code.len()];
+        Chunk {
+            name: "f".into(),
+            arity,
+            n_regs,
+            n_counters: 0,
+            code,
+            fuel,
+            consts: Vec::new(),
+            traps: Vec::new(),
+            reg_names: vec![None; n_regs as usize],
+        }
+    }
+
+    fn program(chunk: Chunk) -> Program {
+        Program {
+            name: "bad".into(),
+            symbols: Vec::new(),
+            units: Vec::new(),
+            ecv_names: Vec::new(),
+            externs: BTreeSet::new(),
+            chunks: vec![chunk],
+            fn_ids: [("f".to_string(), 0u32)].into_iter().collect(),
+            fingerprint: 0,
+        }
+    }
+
+    /// Handcrafted violations of each verifier rule, plus corruptions of a
+    /// genuinely compiled program. Every entry must be rejected with the
+    /// recorded diagnostic, byte for byte.
+    pub fn bad_chunk_corpus() -> Vec<BadChunk> {
+        let mut corpus = Vec::new();
+        let mut add = |name: &'static str, program: Program, expected: &str| {
+            corpus.push(BadChunk {
+                name,
+                program,
+                expected: expected.to_string(),
+            });
+        };
+
+        add(
+            "empty-code",
+            program(chunk(0, 1, Vec::new())),
+            "fn `f`: empty instruction stream",
+        );
+
+        let mut c = chunk(
+            0,
+            1,
+            vec![Instr::Const { dst: 0, k: 0 }, Instr::Return { src: 0 }],
+        );
+        c.consts = vec![crate::value::Value::Num(1.0)];
+        c.fuel = vec![1];
+        add(
+            "fuel-stream-short",
+            program(c),
+            "fn `f`: fuel stream length 1 does not cover 2 instructions",
+        );
+
+        add(
+            "arity-exceeds-regs",
+            program(chunk(3, 1, vec![Instr::Return { src: 0 }])),
+            "fn `f`: arity 3 exceeds 1 registers",
+        );
+
+        add(
+            "register-out-of-bounds",
+            program(chunk(1, 1, vec![Instr::Return { src: 5 }])),
+            "fn `f` @0000: register r5 out of bounds (n_regs 1)",
+        );
+
+        add(
+            "jump-out-of-bounds",
+            program(chunk(1, 1, vec![Instr::Jump { target: 9 }])),
+            "fn `f` @0000: jump target 0009 out of bounds (len 1)",
+        );
+
+        add(
+            "const-out-of-bounds",
+            program(chunk(
+                0,
+                1,
+                vec![Instr::Const { dst: 0, k: 3 }, Instr::Return { src: 0 }],
+            )),
+            "fn `f` @0000: constant k3 out of bounds (0 constants)",
+        );
+
+        add(
+            "trap-out-of-bounds",
+            program(chunk(0, 1, vec![Instr::Trap { t: 0 }])),
+            "fn `f` @0000: trap t0 out of bounds (0 traps)",
+        );
+
+        add(
+            "ecv-out-of-bounds",
+            program(chunk(
+                0,
+                1,
+                vec![Instr::Ecv { dst: 0, e: 2 }, Instr::Return { src: 0 }],
+            )),
+            "fn `f` @0000: ECV slot 2 out of bounds (0 ECVs)",
+        );
+
+        add(
+            "symbol-out-of-bounds",
+            program(chunk(
+                1,
+                2,
+                vec![
+                    Instr::Field {
+                        dst: 1,
+                        src: 0,
+                        sym: 4,
+                    },
+                    Instr::Return { src: 1 },
+                ],
+            )),
+            "fn `f` @0000: symbol 4 out of bounds (0 symbols)",
+        );
+
+        add(
+            "callee-out-of-bounds",
+            program(chunk(
+                1,
+                2,
+                vec![
+                    Instr::Call {
+                        f: 7,
+                        dst: 1,
+                        base: 0,
+                        n: 1,
+                    },
+                    Instr::Return { src: 1 },
+                ],
+            )),
+            "fn `f` @0000: callee chunk 7 out of bounds (1 chunks)",
+        );
+
+        add(
+            "call-arity-mismatch",
+            program(chunk(
+                1,
+                2,
+                vec![
+                    Instr::Call {
+                        f: 0,
+                        dst: 1,
+                        base: 0,
+                        n: 2,
+                    },
+                    Instr::Return { src: 1 },
+                ],
+            )),
+            "fn `f` @0000: call passes 2 arguments to `f`/1",
+        );
+
+        add(
+            "argument-window-out-of-bounds",
+            program(chunk(
+                1,
+                2,
+                vec![
+                    Instr::Call {
+                        f: 0,
+                        dst: 1,
+                        base: 1,
+                        n: 3,
+                    },
+                    Instr::Return { src: 1 },
+                ],
+            )),
+            "fn `f` @0000: argument window r1..r4 out of bounds (n_regs 2)\n\
+             fn `f` @0000: call passes 3 arguments to `f`/1",
+        );
+
+        add(
+            "counter-out-of-bounds",
+            program(chunk(
+                1,
+                1,
+                vec![
+                    Instr::WhileGuard { c: 1, bound: 4 },
+                    Instr::Return { src: 0 },
+                ],
+            )),
+            "fn `f` @0000: counter c1 out of bounds (n_counters 0)",
+        );
+
+        add(
+            "bin-and-not-lowered",
+            program(chunk(
+                2,
+                3,
+                vec![
+                    Instr::Bin {
+                        op: BinOp::And,
+                        dst: 2,
+                        a: 0,
+                        b: 1,
+                    },
+                    Instr::Return { src: 2 },
+                ],
+            )),
+            "fn `f` @0000: `And` must be lowered to jumps, not a Bin instruction",
+        );
+
+        add(
+            "fall-off-end",
+            program(chunk(0, 1, vec![Instr::Nop])),
+            "fn `f` @0000: control may fall off the end of the instruction stream",
+        );
+
+        add(
+            "undefined-argument-slot",
+            program(chunk(
+                0,
+                2,
+                vec![
+                    Instr::Builtin {
+                        b: crate::ast::Builtin::Min,
+                        dst: 0,
+                        base: 0,
+                        n: 2,
+                    },
+                    Instr::Return { src: 0 },
+                ],
+            )),
+            "fn `f` @0000: argument slot r0 may be undefined at the call\n\
+             fn `f` @0000: argument slot r1 may be undefined at the call",
+        );
+
+        add(
+            "temp-read-before-assignment",
+            program(chunk(
+                0,
+                2,
+                vec![Instr::Copy { dst: 1, src: 0 }, Instr::Return { src: 1 }],
+            )),
+            "fn `f` @0000: temp register r0 may be read before assignment",
+        );
+
+        let mut c = chunk(
+            2,
+            3,
+            vec![
+                Instr::ForInit {
+                    i: 0,
+                    from: 1,
+                    to: 1,
+                },
+                Instr::ForTest {
+                    i: 0,
+                    to: 1,
+                    var: 2,
+                    exit: 4,
+                },
+                Instr::Const { dst: 0, k: 0 },
+                Instr::ForStep { i: 0, back: 1 },
+                Instr::Return { src: 1 },
+            ],
+        );
+        c.consts = vec![crate::value::Value::Num(0.0)];
+        add(
+            "induction-register-clobbered",
+            program(c),
+            "fn `f` @0003: induction register r0 is clobbered by the instruction at 0002",
+        );
+
+        // Corruptions of a genuinely compiled program: the verifier must
+        // reject realistic near-miss artifacts, not only synthetic ones.
+        let src = "interface m { fn g(n) { let s = 0; for i in 0..n { s = s + i; } return s; } }";
+        let compiled = super::compile(&parse(src).expect("parses")).expect("compiles");
+
+        let mut p = compiled.clone();
+        let len = p.chunks[0].code.len();
+        for instr in &mut p.chunks[0].code {
+            if let Instr::ForTest { exit, .. } = instr {
+                *exit = len as u32 + 5;
+                break;
+            }
+        }
+        add(
+            "compiled-loop-exit-retargeted",
+            p,
+            &format!(
+                "fn `g` @{:04}: jump target {:04} out of bounds (len {len})",
+                compiled.chunks[0]
+                    .code
+                    .iter()
+                    .position(|i| matches!(i, Instr::ForTest { .. }))
+                    .expect("loop lowering emits a ForTest"),
+                len + 5
+            ),
+        );
+
+        let mut p = compiled.clone();
+        p.chunks[0].fuel.pop();
+        add(
+            "compiled-fuel-truncated",
+            p,
+            &format!(
+                "fn `g`: fuel stream length {} does not cover {len} instructions",
+                len - 1
+            ),
+        );
+
+        corpus
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -343,5 +682,97 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(disassemble(&a), disassemble(&b));
         assert!(disassemble(&a).contains("fn fact/1"));
+    }
+
+    #[test]
+    fn verifier_rejects_the_bad_chunk_corpus_with_stable_diagnostics() {
+        for bad in testing::bad_chunk_corpus() {
+            let errs = verify(&bad.program)
+                .expect_err(&format!("corpus entry `{}` must be rejected", bad.name));
+            assert_eq!(
+                render_errors(&errs),
+                bad.expected,
+                "diagnostics drifted for corpus entry `{}`",
+                bad.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_compiled_program_verifies() {
+        let iface = parse(KITCHEN_SINK).unwrap();
+        let program = compile(&iface).unwrap();
+        verify(&program).expect("compiled output verifies");
+        verify_against(&iface, &program).expect("interval agreement holds");
+    }
+
+    #[test]
+    fn optimizer_preserves_shape_fuel_and_verification() {
+        let iface = parse(KITCHEN_SINK).unwrap();
+        let program = compile(&iface).unwrap();
+        let opt = optimize(&program);
+        verify(&opt).expect("optimized output verifies");
+        assert_eq!(program.chunks.len(), opt.chunks.len());
+        for (before, after) in program.chunks.iter().zip(&opt.chunks) {
+            assert_eq!(before.code.len(), after.code.len(), "fn {}", before.name);
+            assert_eq!(before.fuel, after.fuel, "fn {}", before.name);
+        }
+        // The passes must actually do something on this corpus, and the
+        // changed artifact must not collide with the original in caches.
+        assert_ne!(disassemble(&program), disassemble(&opt));
+        assert_ne!(program.fingerprint(), opt.fingerprint());
+        // Idempotent fixpoint: optimizing again changes nothing.
+        let again = optimize(&opt);
+        assert_eq!(disassemble(&opt), disassemble(&again));
+        assert_eq!(opt.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn optimized_engine_matches_the_oracle_bit_for_bit() {
+        let iface = parse(KITCHEN_SINK).unwrap();
+        let program = optimize(&compile(&iface).unwrap());
+        let mut machine = Vm::new(&program);
+        for (func, args) in [
+            ("fact", vec![Value::Num(6.0)]),
+            ("looped", vec![Value::Num(9.0)]),
+            ("unrolled", vec![]),
+            ("logic", vec![Value::Num(3.0), Value::Num(4.0)]),
+            ("logic", vec![Value::Num(-3.0), Value::Num(4.0)]),
+            ("sampled", vec![Value::Num(2.0)]),
+        ] {
+            let ecvs = assignment(true, 1.25);
+            for fuel in (0..12).map(|i| (1u64 << i) - 1).chain([10_000_000]) {
+                let cfg = EvalConfig {
+                    fuel,
+                    mode: ExecMode::TreeWalk,
+                    ..EvalConfig::default()
+                };
+                let oracle = interp::eval_with_assignment(&iface, func, &args, &ecvs, &cfg);
+                let got = machine.run(func, &args, &ecvs, &cfg);
+                assert_eq!(oracle, got, "{func} diverged at fuel {fuel}");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_against_agrees_on_interfaces_with_specs() {
+        use crate::interface::InputSpec;
+        let mut iface = parse(
+            r#"interface webby {
+                unit req;
+                ecv load: uniform(0.1, 0.9);
+                fn cost(n) {
+                    let e = 0 J;
+                    for i in 0..n { e = e + 2 mJ; }
+                    return e * ecv(load) + n * 1 req;
+                }
+            }"#,
+        )
+        .unwrap();
+        iface.set_input_spec("cost", InputSpec::new().range("n", 1.0, 8.0));
+        let program = compile(&iface).unwrap();
+        verify_against(&iface, &program).expect("bytecode and AST analyses agree");
+        let opt = optimize(&program);
+        verify_against(&iface, &opt).expect("optimized bytecode still agrees");
     }
 }

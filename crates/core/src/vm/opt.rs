@@ -1,0 +1,564 @@
+//! Verifier-gated dataflow optimization over compiled chunks.
+//!
+//! Four classic passes — constant propagation, copy propagation,
+//! common-subexpression elimination on pure builtins, and dead-register
+//! elimination — specialized to one hard constraint: **observational
+//! equivalence with the tree-walk interpreter must stay bit-exact**,
+//! including error variants and messages, Monte-Carlo statistics, fuel
+//! exhaustion boundaries, and telemetry trace bytes.
+//!
+//! The fuel stream is the sharp edge. [`super::lower`] assigns each
+//! instruction the number of interpreter fuel debits since the previous
+//! instruction, and the executor charges `fuel[pc]` *before* executing
+//! `pc`; the exact budget at which a program flips from `FuelExhausted`
+//! to a value is part of the observable contract. Every pass therefore
+//! rewrites instructions **in place** — never inserting, deleting, or
+//! reordering — so `fuel` (and `code.len()`) are byte-identical before
+//! and after optimization; cheapened instructions still charge their
+//! original weight. "Elimination" means rewriting to [`Instr::Nop`] or a
+//! cheaper equivalent, not removal.
+//!
+//! Equally sharp: **errors are effects**. An instruction that could error
+//! at runtime (`Bin` on a division, `Field` on a non-record, any
+//! `Call`/`CallBuiltin`) is only rewritten when the fold *succeeds* at
+//! compile time on known constant operands — a failed fold leaves the
+//! instruction untouched so the runtime error (and which error fires
+//! first) matches the oracle exactly. Dead-register elimination Nop-ifies
+//! only instructions that can never error (`Const`, and `Copy` from a
+//! must-defined source).
+//!
+//! Every pass output is re-checked by [`super::verify`] plus a
+//! fuel-stream identity assertion; a pass that produces an unverifiable
+//! chunk is discarded wholesale (fail-safe to the unoptimized code).
+//! [`optimize`] finally recomputes the program fingerprint, so optimized
+//! and unoptimized artifacts never collide in the eval cache.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ast::UnOp;
+use crate::interp::{eval_binary, eval_builtin, eval_unary};
+use crate::value::Value;
+
+use super::chunk::{fingerprint_program, Chunk, Instr, Program};
+use super::lower::bit_eq;
+use super::verify::{arg_window, must_defined, successors, verify, writes_of};
+
+/// Optimizes every chunk of `program`, returning a new program with
+/// byte-identical `code.len()` / `fuel` streams and a fresh fingerprint.
+///
+/// Each pass is verified before being committed; a pass that fails
+/// verification (which would indicate a bug here) is dropped and the
+/// previous code kept, so the result is always at least as correct as the
+/// input.
+pub fn optimize(program: &Program) -> Program {
+    let mut p = program.clone();
+    // Two rounds: the first dead-elim can expose more constant/copy
+    // propagation (e.g. a CSE'd builtin feeding a now-dead copy chain).
+    for _ in 0..2 {
+        for pass in [
+            Pass::ConstProp,
+            Pass::CopyProp,
+            Pass::Cse,
+            Pass::CopyProp,
+            Pass::DeadElim,
+        ] {
+            let mut candidate = p.clone();
+            let mut changed = false;
+            for chunk in &mut candidate.chunks {
+                changed |= pass.run(chunk, &p.symbols);
+            }
+            if !changed {
+                continue;
+            }
+            if committable(&p, &candidate) {
+                p = candidate;
+            } else {
+                debug_assert!(false, "optimization pass {pass:?} broke verification");
+            }
+        }
+    }
+    p.fingerprint = fingerprint_program(&p);
+    p
+}
+
+/// A candidate is committable when its shape is untouched (same code and
+/// fuel bytes per chunk) and it still verifies.
+fn committable(before: &Program, after: &Program) -> bool {
+    let shape_ok =
+        before.chunks.len() == after.chunks.len()
+            && before.chunks.iter().zip(&after.chunks).all(|(b, a)| {
+                b.code.len() == a.code.len() && b.fuel == a.fuel && b.n_regs == a.n_regs
+            });
+    shape_ok && verify(after).is_ok()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pass {
+    ConstProp,
+    CopyProp,
+    Cse,
+    DeadElim,
+}
+
+impl Pass {
+    fn run(self, chunk: &mut Chunk, symbols: &[String]) -> bool {
+        match self {
+            Pass::ConstProp => const_prop(chunk, symbols),
+            Pass::CopyProp => copy_prop(chunk),
+            Pass::Cse => cse(chunk),
+            Pass::DeadElim => dead_elim(chunk),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constant propagation
+// ---------------------------------------------------------------------------
+
+/// Per-register constantness lattice for the must-constant dataflow.
+#[derive(Clone)]
+enum CCell {
+    /// Unvisited (top of the meet lattice).
+    Any,
+    /// Definitely this value on every path.
+    Const(Value),
+    /// Written, but not a single known constant.
+    Varies,
+}
+
+impl CCell {
+    fn meet(&self, o: &CCell) -> CCell {
+        match (self, o) {
+            (CCell::Any, x) | (x, CCell::Any) => x.clone(),
+            (CCell::Const(a), CCell::Const(b)) if bit_eq(a, b) => CCell::Const(a.clone()),
+            _ => CCell::Varies,
+        }
+    }
+}
+
+/// Forward must-constant analysis + interpreter-kernel folding. An
+/// instruction is rewritten only when all its operands are known constants
+/// *and* the interpreter kernel evaluates them without error.
+fn const_prop(chunk: &mut Chunk, symbols: &[String]) -> bool {
+    let len = chunk.code.len();
+    let ins = constant_states(chunk);
+    let mut rewrites: Vec<(usize, Instr)> = Vec::new();
+    let mut new_consts: Vec<Value> = Vec::new();
+
+    // Interns `v` in the (logical) const pool: existing entries first,
+    // then entries added by this pass.
+    let intern = |consts: &[Value], new_consts: &mut Vec<Value>, v: Value| -> u32 {
+        if let Some(i) = consts.iter().position(|c| bit_eq(c, &v)) {
+            return i as u32;
+        }
+        if let Some(i) = new_consts.iter().position(|c| bit_eq(c, &v)) {
+            return (consts.len() + i) as u32;
+        }
+        new_consts.push(v);
+        (consts.len() + new_consts.len() - 1) as u32
+    };
+
+    for (pc, state) in ins.iter().enumerate().take(len) {
+        let Some(state) = state else { continue };
+        let known = |r: u32| match &state[r as usize] {
+            CCell::Const(v) => Some(v.clone()),
+            _ => None,
+        };
+        let folded: Option<(u32, Value)> = match &chunk.code[pc] {
+            // A copy of a known constant becomes a (re-)materialization.
+            Instr::Copy { dst, src } => known(*src).map(|v| (*dst, v)),
+            Instr::Neg { dst, src } => known(*src)
+                .and_then(|v| eval_unary(UnOp::Neg, v).ok())
+                .map(|v| (*dst, v)),
+            Instr::Not { dst, src } => known(*src)
+                .and_then(|v| eval_unary(UnOp::Not, v).ok())
+                .map(|v| (*dst, v)),
+            Instr::Bin { op, dst, a, b } => match (known(*a), known(*b)) {
+                (Some(x), Some(y)) => eval_binary(*op, x, y).ok().map(|v| (*dst, v)),
+                _ => None,
+            },
+            Instr::AsBool { dst, src } => known(*src)
+                .and_then(|v| v.as_bool().ok().map(Value::Bool))
+                .map(|v| (*dst, v)),
+            Instr::Field { dst, src, sym } => known(*src)
+                .and_then(|v| v.field(&symbols[*sym as usize]).ok().cloned())
+                .map(|v| (*dst, v)),
+            // `Builtin` is emitted only where the lowering proved the call
+            // depth irrelevant; `eval_builtin` is pure, so a successful
+            // fold is exact. `CallBuiltin` checks the dynamic stack depth
+            // first and is never folded.
+            Instr::Builtin { b, dst, base, n } => {
+                let args: Option<Vec<Value>> = (*base..*base + *n).map(known).collect();
+                args.and_then(|a| eval_builtin(*b, &a).ok())
+                    .map(|v| (*dst, v))
+            }
+            _ => None,
+        };
+        if let Some((dst, v)) = folded {
+            let k = intern(&chunk.consts, &mut new_consts, v);
+            let instr = Instr::Const { dst, k };
+            if chunk.code[pc] != instr {
+                rewrites.push((pc, instr));
+            }
+        }
+    }
+    chunk.consts.extend(new_consts);
+    let changed = !rewrites.is_empty();
+    for (pc, instr) in rewrites {
+        chunk.code[pc] = instr;
+    }
+    changed
+}
+
+/// Computes the per-pc must-constant states (`None` = unreachable).
+fn constant_states(chunk: &Chunk) -> Vec<Option<Vec<CCell>>> {
+    let len = chunk.code.len();
+    let mut ins: Vec<Option<Vec<CCell>>> = vec![None; len];
+    let mut entry = vec![CCell::Any; chunk.n_regs as usize];
+    for r in 0..chunk.arity {
+        entry[r as usize] = CCell::Varies;
+    }
+    ins[0] = Some(entry);
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        let mut out = ins[pc].clone().expect("worklist entries are reachable");
+        let instr = &chunk.code[pc];
+        match instr {
+            Instr::Const { dst, k } => {
+                out[*dst as usize] = CCell::Const(chunk.consts[*k as usize].clone());
+            }
+            Instr::Copy { dst, src } => {
+                out[*dst as usize] = match &out[*src as usize] {
+                    CCell::Const(v) => CCell::Const(v.clone()),
+                    _ => CCell::Varies,
+                };
+            }
+            _ => {
+                for r in writes_of(instr) {
+                    out[r as usize] = CCell::Varies;
+                }
+            }
+        }
+        for succ in successors(instr, pc) {
+            match &mut ins[succ] {
+                None => {
+                    ins[succ] = Some(out.clone());
+                    work.push(succ);
+                }
+                Some(cur) => {
+                    let mut changed = false;
+                    for (c, n) in cur.iter_mut().zip(&out) {
+                        let m = c.meet(n);
+                        let differs = !matches!(
+                            (&m, &*c),
+                            (CCell::Any, CCell::Any)
+                                | (CCell::Varies, CCell::Varies)
+                                | (CCell::Const(_), CCell::Const(_))
+                        ) || matches!((&m, &*c), (CCell::Const(a), CCell::Const(b)) if !bit_eq(a, b));
+                        if differs {
+                            *c = m;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    ins
+}
+
+// ---------------------------------------------------------------------------
+// Copy propagation
+// ---------------------------------------------------------------------------
+
+/// Forward available-copies analysis: a pair `(d, s)` is available at a pc
+/// when `Copy {d, s}` executed on every path and neither register has been
+/// written since. Read operands of `d` are then rewritten to `s`.
+fn copy_prop(chunk: &mut Chunk) -> bool {
+    type Copies = BTreeSet<(u32, u32)>;
+    let len = chunk.code.len();
+    let mut ins: Vec<Option<Copies>> = vec![None; len];
+    ins[0] = Some(Copies::new());
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        let mut out = ins[pc].clone().expect("worklist entries are reachable");
+        let instr = &chunk.code[pc];
+        // Kill pairs touching any written register. `ForTest` writes its
+        // variable on the fall-through edge only; killing on both edges is
+        // conservative and sound.
+        let mut written = writes_of(instr);
+        if let Instr::ForTest { var, .. } = instr {
+            written.push(*var);
+        }
+        out.retain(|(d, s)| !written.contains(d) && !written.contains(s));
+        if let Instr::Copy { dst, src } = instr {
+            if dst != src {
+                out.insert((*dst, *src));
+            }
+        }
+        for succ in successors(instr, pc) {
+            match &mut ins[succ] {
+                None => {
+                    ins[succ] = Some(out.clone());
+                    work.push(succ);
+                }
+                Some(cur) => {
+                    let n = cur.len();
+                    cur.retain(|p| out.contains(p));
+                    if cur.len() != n {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut changed = false;
+    for (pc, avail) in ins.iter().enumerate().take(len) {
+        let Some(avail) = avail else { continue };
+        // Deterministic: substitute the smallest available source.
+        let subst = |r: u32| -> u32 {
+            avail
+                .iter()
+                .filter(|(d, _)| *d == r)
+                .map(|(_, s)| *s)
+                .min()
+                .unwrap_or(r)
+        };
+        // Only plain value reads are rewritten. Argument windows are
+        // positional (the callee reads fixed slots); `Check*`/`For*`
+        // registers carry name/induction semantics and stay put.
+        let rewritten = match &chunk.code[pc] {
+            Instr::Copy { dst, src } => Some(Instr::Copy {
+                dst: *dst,
+                src: subst(*src),
+            }),
+            Instr::Neg { dst, src } => Some(Instr::Neg {
+                dst: *dst,
+                src: subst(*src),
+            }),
+            Instr::Not { dst, src } => Some(Instr::Not {
+                dst: *dst,
+                src: subst(*src),
+            }),
+            Instr::AsBool { dst, src } => Some(Instr::AsBool {
+                dst: *dst,
+                src: subst(*src),
+            }),
+            Instr::Field { dst, src, sym } => Some(Instr::Field {
+                dst: *dst,
+                src: subst(*src),
+                sym: *sym,
+            }),
+            Instr::Bin { op, dst, a, b } => Some(Instr::Bin {
+                op: *op,
+                dst: *dst,
+                a: subst(*a),
+                b: subst(*b),
+            }),
+            Instr::JumpIfFalse { cond, target } => Some(Instr::JumpIfFalse {
+                cond: subst(*cond),
+                target: *target,
+            }),
+            Instr::JumpIfTrue { cond, target } => Some(Instr::JumpIfTrue {
+                cond: subst(*cond),
+                target: *target,
+            }),
+            Instr::Return { src } => Some(Instr::Return { src: subst(*src) }),
+            _ => None,
+        };
+        if let Some(instr) = rewritten {
+            if chunk.code[pc] != instr {
+                chunk.code[pc] = instr;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Common-subexpression elimination (pure builtins, per basic block)
+// ---------------------------------------------------------------------------
+
+/// Local value numbering within basic blocks. A repeated pure
+/// [`Instr::Builtin`] whose argument value numbers match an earlier one —
+/// and whose result register still holds that value — is rewritten to a
+/// `Copy` from the earlier result. Sound because `eval_builtin` is pure
+/// and deterministic: if the first occurrence errored, the second is
+/// unreachable; if it succeeded, the values are bit-identical.
+/// `CallBuiltin` (dynamic depth check) is never touched.
+fn cse(chunk: &mut Chunk) -> bool {
+    let len = chunk.code.len();
+    // Block leaders: entry, every jump target, every fall-through after a
+    // branching or terminating instruction.
+    let mut leader = vec![false; len];
+    leader[0] = true;
+    for (pc, instr) in chunk.code.iter().enumerate() {
+        let succs = successors(instr, pc);
+        if succs.len() != 1 || succs[0] != pc + 1 {
+            for s in succs {
+                leader[s] = true;
+            }
+            if pc + 1 < len {
+                leader[pc + 1] = true;
+            }
+        }
+    }
+
+    let mut changed = false;
+    let mut next_vn = 0u64;
+    // Per-block state, reset at leaders.
+    let mut reg_vn: HashMap<u32, u64> = HashMap::new();
+    let mut const_vn: HashMap<u32, u64> = HashMap::new();
+    let mut expr_holder: HashMap<(&'static str, Vec<u64>), (u32, u64)> = HashMap::new();
+
+    for (pc, &is_leader) in leader.iter().enumerate().take(len) {
+        if is_leader {
+            reg_vn.clear();
+            const_vn.clear();
+            expr_holder.clear();
+        }
+        let mut fresh = || {
+            next_vn += 1;
+            next_vn
+        };
+        match chunk.code[pc].clone() {
+            Instr::Const { dst, k } => {
+                let vn = *const_vn.entry(k).or_insert_with(&mut fresh);
+                reg_vn.insert(dst, vn);
+            }
+            Instr::Copy { dst, src } => {
+                let vn = *reg_vn.entry(src).or_insert_with(&mut fresh);
+                reg_vn.insert(dst, vn);
+            }
+            Instr::Builtin { b, dst, base, n } => {
+                let arg_vns: Vec<u64> = (base..base + n)
+                    .map(|r| *reg_vn.entry(r).or_insert_with(&mut fresh))
+                    .collect();
+                let key = (b.name(), arg_vns);
+                match expr_holder.get(&key) {
+                    Some(&(holder, vn)) if holder != dst && reg_vn.get(&holder) == Some(&vn) => {
+                        chunk.code[pc] = Instr::Copy { dst, src: holder };
+                        changed = true;
+                        reg_vn.insert(dst, vn);
+                    }
+                    _ => {
+                        let vn = fresh();
+                        reg_vn.insert(dst, vn);
+                        expr_holder.insert(key, (dst, vn));
+                    }
+                }
+            }
+            instr => {
+                for r in writes_of(&instr) {
+                    reg_vn.insert(r, fresh());
+                }
+                if let Instr::ForTest { var, .. } = instr {
+                    reg_vn.insert(var, fresh());
+                }
+            }
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Dead-register elimination
+// ---------------------------------------------------------------------------
+
+/// Backward liveness; Nop-ifies writes whose destination is dead — but
+/// **only** for instructions with no other observable effect: `Const`
+/// (never errors) and `Copy` from a must-defined source (a copy from a
+/// possibly-unwritten register may raise `Unresolved` and must stay).
+fn dead_elim(chunk: &mut Chunk) -> bool {
+    let len = chunk.code.len();
+    // live_in[pc]: registers read at or after pc on some path.
+    let mut live_in: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); len];
+    // Predecessor map for the backward traversal.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); len];
+    for (pc, instr) in chunk.code.iter().enumerate() {
+        for s in successors(instr, pc) {
+            preds[s].push(pc);
+        }
+    }
+    let mut work: Vec<usize> = (0..len).collect();
+    while let Some(pc) = work.pop() {
+        let instr = &chunk.code[pc];
+        let mut live: BTreeSet<u32> = BTreeSet::new();
+        for s in successors(instr, pc) {
+            live.extend(live_in[s].iter().copied());
+        }
+        // Defs kill liveness — except `ForTest`'s conditional write.
+        if !matches!(instr, Instr::ForTest { .. }) {
+            for r in writes_of(instr) {
+                live.remove(&r);
+            }
+        }
+        // Uses generate liveness (argument windows and checks included —
+        // this analysis is about reads of any kind).
+        match instr {
+            Instr::Copy { src, .. }
+            | Instr::Field { src, .. }
+            | Instr::Neg { src, .. }
+            | Instr::Not { src, .. }
+            | Instr::AsBool { src, .. }
+            | Instr::CheckVar { src }
+            | Instr::CheckNum { src }
+            | Instr::Return { src } => {
+                live.insert(*src);
+            }
+            Instr::Bin { a, b, .. } => {
+                live.insert(*a);
+                live.insert(*b);
+            }
+            Instr::JumpIfFalse { cond, .. } | Instr::JumpIfTrue { cond, .. } => {
+                live.insert(*cond);
+            }
+            Instr::ForInit { from, to, .. } => {
+                live.insert(*from);
+                live.insert(*to);
+            }
+            Instr::ForTest { i, to, .. } => {
+                live.insert(*i);
+                live.insert(*to);
+            }
+            Instr::ForStep { i, .. } => {
+                live.insert(*i);
+            }
+            _ => {}
+        }
+        if let Some((base, n)) = arg_window(instr) {
+            live.extend(base..base + n);
+        }
+        if live != live_in[pc] {
+            live_in[pc] = live;
+            work.extend(preds[pc].iter().copied());
+        }
+    }
+
+    let defined = must_defined(chunk);
+    let mut changed = false;
+    for (pc, def) in defined.iter().enumerate().take(len) {
+        let dead_dst = |dst: u32| {
+            !successors(&chunk.code[pc], pc)
+                .iter()
+                .any(|&s| live_in[s].contains(&dst))
+        };
+        let nop = match &chunk.code[pc] {
+            Instr::Const { dst, .. } => dead_dst(*dst),
+            Instr::Copy { dst, src } => {
+                dead_dst(*dst) && def.as_ref().is_some_and(|d| d.get(*src))
+            }
+            _ => false,
+        };
+        if nop {
+            chunk.code[pc] = Instr::Nop;
+            changed = true;
+        }
+    }
+    changed
+}

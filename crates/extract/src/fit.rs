@@ -168,6 +168,15 @@ pub struct InterfaceFitReport {
     /// `eil-sema` diagnostics for the validated interface, rendered as
     /// text lines (empty when the interface lints clean).
     pub lint: Vec<String>,
+    /// Sound certificate for the validated function over its *declared*
+    /// input spec ([`ei_core::analysis::cert::certify_fn`]); `None` when
+    /// the interface declares no spec for it.
+    pub certificate: Option<ei_core::analysis::cert::FnCertificate>,
+    /// Held-out measurements that escape the certified bound. Always `0`
+    /// when `certificate` is `None`; for an in-spec validation set this
+    /// catches fits whose emitted interface cannot explain what was
+    /// actually measured.
+    pub cert_violations: usize,
 }
 
 /// Validates an emitted interface against held-out measurements.
@@ -226,11 +235,28 @@ pub fn validate_interface(
         .iter()
         .map(|d| d.text_line())
         .collect();
+    // Certify against the declared domain when the emitter published one:
+    // the fitted interface then carries a machine-checkable promise, and a
+    // held-out measurement outside the certified bound means the fit (not
+    // just one residual) is wrong.
+    let certificate = iface
+        .input_specs
+        .get(func)
+        .map(|spec| ei_core::analysis::cert::certify_fn(iface, func, spec, &config.calibration))
+        .transpose()
+        .map_err(|e| Error::Fit {
+            msg: format!("fitted interface failed to certify: {e}"),
+        })?;
+    let cert_violations = certificate.as_ref().map_or(0, |c| {
+        measured.iter().filter(|m| !c.bound.admits(**m)).count()
+    });
     Ok(InterfaceFitReport {
         rel_errors,
         mean_rel_error,
         max_rel_error,
         lint,
+        certificate,
+        cert_violations,
     })
 }
 

@@ -11,7 +11,7 @@
 //! the same entry points as the vendor one — ready to be linked under any
 //! application interface.
 
-use ei_core::interface::Interface;
+use ei_core::interface::{InputSpec, Interface};
 use ei_core::parser::parse;
 use ei_core::units::{Energy, Power, TimeSpan};
 use ei_hw::cache::{AccessKind, ReuseHint};
@@ -98,8 +98,24 @@ impl GpuEnergyModel {
             e_vram = self.e_vram_sector.as_joules(),
             static_w = self.static_power.as_watts(),
         );
-        parse(&src).expect("fitted interface must parse")
+        let mut iface = parse(&src).expect("fitted interface must parse");
+        // Declared input domains make the emitted interface certifiable
+        // (`eic certify` / `analysis::cert`): any kernel inside these
+        // ranges is guaranteed to land inside the certified bound.
+        iface.set_input_spec("gpu_kernel", kernel_input_spec());
+        iface.set_input_spec("gpu_idle", InputSpec::new().range("seconds", 0.0, 3600.0));
+        iface
     }
+}
+
+/// The declared domain of a fitted `gpu_kernel`-shaped function: generous
+/// counter ranges covering any kernel the simulator can express.
+fn kernel_input_spec() -> InputSpec {
+    InputSpec::new()
+        .range("flops", 0.0, 1e13)
+        .range("logical_bytes", 0.0, 1e13)
+        .range("l2_sectors", 0.0, 1e12)
+        .range("vram_sectors", 0.0, 1e12)
 }
 
 /// The fitted DVFS dynamic-energy scale `s(f) = c0 + c1·f + c2·f²`.
@@ -172,7 +188,11 @@ impl GpuEnergyModel {
             s2 = scale.coefficients[2],
             static_w = self.static_power.as_watts(),
         );
-        parse(&src).expect("fitted DVFS interface must parse")
+        let mut iface = parse(&src).expect("fitted DVFS interface must parse");
+        // The clock fraction stays off zero: `compute_s` divides by it.
+        iface.set_input_spec("gpu_kernel_f", kernel_input_spec().range("freq", 0.1, 1.0));
+        iface.set_input_spec("gpu_idle", InputSpec::new().range("seconds", 0.0, 3600.0));
+        iface
     }
 }
 
@@ -501,6 +521,19 @@ mod tests {
             "fitted prediction off by {}",
             report.max_rel_error
         );
+        // The emitted interface declares its domain, so validation also
+        // certifies it: the measured energy must sit inside the sound
+        // bound, and every counter must push energy upward.
+        let cert = report.certificate.expect("fitted interface certifies");
+        assert_eq!(report.cert_violations, 0, "measurement escapes bound");
+        use ei_core::analysis::cert::Monotonicity;
+        for var in ["flops", "logical_bytes", "l2_sectors", "vram_sectors"] {
+            assert_eq!(
+                cert.monotone[var],
+                Monotonicity::NonDecreasing,
+                "{var} should be non-decreasing"
+            );
+        }
     }
 
     #[test]

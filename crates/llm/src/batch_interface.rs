@@ -206,14 +206,13 @@ pub fn gpt2_batch_interface(c: &Gpt2Config) -> Interface {
         dtype = dtype,
     );
     let mut iface = parse(&src).expect("generated batch interface must parse");
-    iface.set_input_spec(
-        "e_wave",
-        InputSpec::new()
-            .range("batch", 1.0, 16.0)
-            .range("p", 1.0, 256.0)
-            .range("g", 1.0, 200.0)
-            .range("freq", 0.1, 1.0),
-    );
+    let wave_spec = InputSpec::new()
+        .range("batch", 1.0, 16.0)
+        .range("p", 1.0, 256.0)
+        .range("g", 1.0, 200.0)
+        .range("freq", 0.1, 1.0);
+    iface.set_input_spec("e_wave", wave_spec.clone());
+    iface.set_input_spec("t_wave", wave_spec);
     iface
 }
 

@@ -3,15 +3,22 @@
 //! The VM (`ei_core::vm`) claims *bit-identical* behaviour with the
 //! interpreter — same `Value`s, same error variants and messages, same
 //! fuel exhaustion boundaries, and byte-identical telemetry traces — on
-//! every program, not just the goldens. These properties generate
+//! every program, not just the goldens. The claim covers both bytecode
+//! variants: the raw lowering and the verifier-gated optimized form, so
+//! every property here is a *triple* differential — tree-walk oracle ≡
+//! unoptimized chunks ≡ optimized chunks. These properties generate
 //! loop/branch/unit/ECV-rich interfaces from the shared corpus
 //! (`crates/core/tests/common/generators.rs`, the PR 4 generators) and
-//! run both engines over them.
+//! run all three engine variants over them.
 //!
 //! Comparisons are on `Debug` renderings of the full `Result`, so a
 //! divergence in an error variant or message fails just as loudly as a
 //! wrong answer; distributions compare with `EnergyDist`'s exact
 //! (bitwise) equality, and traces compare as serialized JSON bytes.
+//!
+//! Alongside the random programs, the seeded bad-chunk corpus pins the
+//! other side of the contract: programs the verifier must *reject*, with
+//! byte-stable diagnostics.
 
 use std::collections::BTreeMap;
 
@@ -49,6 +56,25 @@ fn config(iface: &ei_core::interface::Interface, mode: ExecMode) -> EvalConfig {
     }
 }
 
+/// The three engine variants under test: the tree-walk oracle, the raw
+/// bytecode lowering, and the optimized bytecode.
+const VARIANTS: [(ExecMode, bool, &str); 3] = [
+    (ExecMode::TreeWalk, true, "tree-walk"),
+    (ExecMode::Compiled, false, "vm (unoptimized)"),
+    (ExecMode::Compiled, true, "vm (optimized)"),
+];
+
+fn variant_config(
+    iface: &ei_core::interface::Interface,
+    mode: ExecMode,
+    optimize: bool,
+) -> EvalConfig {
+    EvalConfig {
+        optimize,
+        ..config(iface, mode)
+    }
+}
+
 /// One concrete assignment for the `hot`/`mix` ECVs of
 /// [`arb_vm_interface`] programs.
 fn assignment(hot: bool, mix: f64) -> BTreeMap<String, EcvValue> {
@@ -76,17 +102,20 @@ proptest! {
                 &iface, func, &[Value::Num(z)], &ecvs,
                 &config(&iface, ExecMode::TreeWalk),
             );
-            let machine = eval_with_assignment(
-                &iface, func, &[Value::Num(z)], &ecvs,
-                &config(&iface, ExecMode::Compiled),
-            );
-            prop_assert_eq!(
-                format!("{oracle:?}"),
-                format!("{machine:?}"),
-                "engines diverge on `{}`:\n{}",
-                func,
-                ei_core::vm::disassemble(&ei_core::vm::compile(&iface).unwrap()),
-            );
+            for (mode, optimize, label) in [VARIANTS[1], VARIANTS[2]] {
+                let machine = eval_with_assignment(
+                    &iface, func, &[Value::Num(z)], &ecvs,
+                    &variant_config(&iface, mode, optimize),
+                );
+                prop_assert_eq!(
+                    format!("{oracle:?}"),
+                    format!("{machine:?}"),
+                    "{} diverges on `{}`:\n{}",
+                    label,
+                    func,
+                    ei_core::vm::disassemble(&ei_core::vm::compile(&iface).unwrap()),
+                );
+            }
         }
     }
 
@@ -105,15 +134,19 @@ proptest! {
         budgets.push(EvalConfig::default().fuel);
         for fuel in budgets {
             let tree = EvalConfig { fuel, ..config(&iface, ExecMode::TreeWalk) };
-            let comp = EvalConfig { fuel, ..config(&iface, ExecMode::Compiled) };
             let oracle = eval_with_assignment(&iface, "entry", &[Value::Num(z)], &ecvs, &tree);
-            let machine = eval_with_assignment(&iface, "entry", &[Value::Num(z)], &ecvs, &comp);
-            prop_assert_eq!(
-                format!("{oracle:?}"),
-                format!("{machine:?}"),
-                "engines diverge at fuel budget {}",
-                fuel
-            );
+            for (mode, optimize, label) in [VARIANTS[1], VARIANTS[2]] {
+                let comp = EvalConfig { fuel, ..variant_config(&iface, mode, optimize) };
+                let machine =
+                    eval_with_assignment(&iface, "entry", &[Value::Num(z)], &ecvs, &comp);
+                prop_assert_eq!(
+                    format!("{oracle:?}"),
+                    format!("{machine:?}"),
+                    "{} diverges at fuel budget {}",
+                    label,
+                    fuel
+                );
+            }
         }
     }
 
@@ -128,8 +161,8 @@ proptest! {
         let args = [Value::Num(z)];
         let n = 192; // 3 chunks: exercises chunk seeding on both engines
 
-        let run = |mode: ExecMode, threads: usize| {
-            let cfg = config(&iface, mode);
+        let run = |mode: ExecMode, optimize: bool, threads: usize| {
+            let cfg = variant_config(&iface, mode, optimize);
             let session = telemetry::session();
             let dist = if threads == 0 {
                 monte_carlo(&iface, "entry", &args, &env, n, 7, &cfg)
@@ -139,35 +172,44 @@ proptest! {
             (dist, session.finish())
         };
 
-        let (oracle, oracle_trace) = run(ExecMode::TreeWalk, 0);
-        let (compiled, compiled_trace) = run(ExecMode::Compiled, 0);
-
-        match (&oracle, &compiled) {
-            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "serial MC distributions diverge"),
-            (a, b) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "serial MC errors diverge"),
+        let (oracle, oracle_trace) = run(ExecMode::TreeWalk, true, 0);
+        for (mode, optimize, label) in [VARIANTS[1], VARIANTS[2]] {
+            let (compiled, compiled_trace) = run(mode, optimize, 0);
+            match (&oracle, &compiled) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a, b, "serial MC distributions diverge ({})", label)
+                }
+                (a, b) => prop_assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "serial MC errors diverge ({})",
+                    label
+                ),
+            }
+            prop_assert_eq!(
+                oracle_trace.to_json_pretty(),
+                compiled_trace.to_json_pretty(),
+                "serial traces reveal the engine ({})",
+                label
+            );
         }
-        prop_assert_eq!(
-            oracle_trace.to_json_pretty(),
-            compiled_trace.to_json_pretty(),
-            "serial traces reveal the engine"
-        );
 
         // Parallel scheduling only has a deterministic error to report
         // when there is no error at all, so the thread-count comparison
         // runs on the success path (as in telemetry_differential.rs).
         if let Ok(expect) = &oracle {
-            for mode in [ExecMode::TreeWalk, ExecMode::Compiled] {
+            for (mode, optimize, label) in VARIANTS {
                 for threads in [1, 8] {
-                    let (dist, trace) = run(mode, threads);
+                    let (dist, trace) = run(mode, optimize, threads);
                     let dist = dist.expect("serial run succeeded");
                     prop_assert_eq!(
                         expect, &dist,
-                        "{:?} x{} diverges from the serial oracle", mode, threads
+                        "{} x{} diverges from the serial oracle", label, threads
                     );
                     prop_assert_eq!(
                         oracle_trace.to_json_pretty(),
                         trace.to_json_pretty(),
-                        "{:?} x{} trace reveals engine or thread count", mode, threads
+                        "{} x{} trace reveals engine or thread count", label, threads
                     );
                 }
             }
@@ -180,13 +222,14 @@ proptest! {
     fn batch_matches_oracle(iface in arb_vm_interface(), zs in proptest::collection::vec(0.0f64..2000.0, 1..6)) {
         let env = EcvEnv::from_decls(&iface.ecvs);
         let batch: Vec<Vec<Value>> = zs.iter().map(|z| vec![Value::Num(*z)]).collect();
-        let run = |mode: ExecMode| {
-            let cfg = config(&iface, mode);
+        let run = |mode: ExecMode, optimize: bool| {
+            let cfg = variant_config(&iface, mode, optimize);
             format!("{:?}", evaluate_batch(&iface, "entry", &batch, &env, 11, &cfg))
         };
-        let oracle = run(ExecMode::TreeWalk);
-        prop_assert_eq!(&oracle, &run(ExecMode::Compiled), "Compiled batch diverges");
-        prop_assert_eq!(&oracle, &run(ExecMode::Auto), "Auto batch diverges");
+        let oracle = run(ExecMode::TreeWalk, true);
+        prop_assert_eq!(&oracle, &run(ExecMode::Compiled, false), "unoptimized batch diverges");
+        prop_assert_eq!(&oracle, &run(ExecMode::Compiled, true), "optimized batch diverges");
+        prop_assert_eq!(&oracle, &run(ExecMode::Auto, true), "Auto batch diverges");
     }
 
     /// The pure-numeric corpus (deep builtin/operator nesting over raw
@@ -198,14 +241,58 @@ proptest! {
             let oracle = eval_with_assignment(
                 &iface, "f", &[Value::Num(x)], &ecvs, &config(&iface, ExecMode::TreeWalk),
             );
-            let machine = eval_with_assignment(
-                &iface, "f", &[Value::Num(x)], &ecvs, &config(&iface, ExecMode::Compiled),
+            for (mode, optimize, label) in [VARIANTS[1], VARIANTS[2]] {
+                let machine = eval_with_assignment(
+                    &iface, "f", &[Value::Num(x)], &ecvs,
+                    &variant_config(&iface, mode, optimize),
+                );
+                prop_assert_eq!(
+                    format!("{oracle:?}"),
+                    format!("{machine:?}"),
+                    "{} diverges at x = {:?}", label, x
+                );
+            }
+        }
+    }
+
+    /// The optimizer's output must satisfy the same static contract as
+    /// the lowering's: every optimized program re-verifies against its
+    /// source interface, for every generated program.
+    #[test]
+    fn optimized_programs_reverify(iface in arb_vm_interface()) {
+        let program = ei_core::vm::compile(&iface).expect("generated interface compiles");
+        let optimized = ei_core::vm::optimize(&program);
+        if let Err(errs) = ei_core::vm::verify_against(&iface, &optimized) {
+            prop_assert!(
+                false,
+                "optimized program fails verification:\n{}\n{}",
+                ei_core::vm::render_errors(&errs),
+                ei_core::vm::disassemble(&optimized),
             );
-            prop_assert_eq!(
-                format!("{oracle:?}"),
-                format!("{machine:?}"),
-                "engines diverge at x = {:?}", x
-            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The rejection side of the contract: the seeded bad-chunk corpus.
+// ---------------------------------------------------------------------------
+
+/// Every entry of the handcrafted ill-formed-program corpus must be
+/// rejected by the verifier with its recorded diagnostic, byte for byte —
+/// the same stability the `cert_gate` CI binary enforces.
+#[test]
+fn bad_chunk_corpus_is_rejected_with_stable_diagnostics() {
+    let corpus = ei_core::vm::testing::bad_chunk_corpus();
+    assert!(corpus.len() >= 15, "corpus shrank to {}", corpus.len());
+    for bad in corpus {
+        match ei_core::vm::verify(&bad.program) {
+            Ok(()) => panic!("verifier accepted corpus entry `{}`", bad.name),
+            Err(errs) => assert_eq!(
+                ei_core::vm::render_errors(&errs),
+                bad.expected,
+                "diagnostic drifted for corpus entry `{}`",
+                bad.name
+            ),
         }
     }
 }
